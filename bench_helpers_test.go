@@ -1,0 +1,148 @@
+package gpgpusim
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cudart"
+	"repro/internal/cudnn"
+	"repro/internal/exec"
+	"repro/internal/timing"
+)
+
+// debugWorkload is the multi-kernel FFT convolution the debug benchmarks
+// bisect (mirrors the workload in internal/debug tests).
+func debugWorkload(ctx *cudart.Context) error {
+	h, err := cudnn.Create(ctx)
+	if err != nil {
+		return err
+	}
+	xd := cudnn.TensorDesc{N: 1, C: 2, H: 12, W: 12}
+	fd := cudnn.FilterDesc{K: 3, C: 2, R: 5, S: 5}
+	cd := cudnn.ConvDesc{Pad: 0, Stride: 1}
+	px, err := ctx.Malloc(uint64(4 * xd.Count()))
+	if err != nil {
+		return err
+	}
+	x := make([]float32, xd.Count())
+	for i := range x {
+		x[i] = float32(i%13)*0.25 - 1
+	}
+	ctx.MemcpyF32HtoD(px, x)
+	pw, err := ctx.Malloc(uint64(4 * fd.Count()))
+	if err != nil {
+		return err
+	}
+	w := make([]float32, fd.Count())
+	for i := range w {
+		w[i] = float32(i%7)*0.5 - 1.5
+	}
+	ctx.MemcpyF32HtoD(pw, w)
+	py, err := ctx.Malloc(uint64(4 * 3 * 8 * 8))
+	if err != nil {
+		return err
+	}
+	_, err = h.ConvolutionForward(cudnn.FwdAlgoFFT, px, xd, pw, fd, cd, py)
+	return err
+}
+
+// modeProbeWorkload is a small relu+gemm+relu sequence shared by the
+// checkpoint and mode-comparison benchmarks.
+func modeProbeWorkload(ctx *cudart.Context, h *cudnn.Handle) (uint64, error) {
+	m, n, k := 48, 40, 32
+	x := make([]float32, m*k)
+	w := make([]float32, k*n)
+	for i := range x {
+		x[i] = float32(i%9) * 0.125
+	}
+	for i := range w {
+		w[i] = float32(i%5)*0.25 - 0.5
+	}
+	px, err := ctx.Malloc(uint64(4 * len(x)))
+	if err != nil {
+		return 0, err
+	}
+	ctx.MemcpyF32HtoD(px, x)
+	pw, err := ctx.Malloc(uint64(4 * len(w)))
+	if err != nil {
+		return 0, err
+	}
+	ctx.MemcpyF32HtoD(pw, w)
+	pa, err := ctx.Malloc(uint64(4 * len(x)))
+	if err != nil {
+		return 0, err
+	}
+	pc, err := ctx.Malloc(uint64(4 * m * n))
+	if err != nil {
+		return 0, err
+	}
+	if err := h.ActivationForward(px, pa, len(x)); err != nil {
+		return 0, err
+	}
+	if err := h.Gemm(pa, pw, pc, m, n, k, 1, 0); err != nil {
+		return 0, err
+	}
+	if err := h.ActivationForward(pc, pc, m*n); err != nil {
+		return 0, err
+	}
+	return pc, nil
+}
+
+// runModeProbe runs the probe functionally (eng == nil) or under timing.
+func runModeProbe(eng *timing.Engine) error {
+	ctx := cudart.NewContext(exec.BugSet{})
+	h, err := cudnn.Create(ctx)
+	if err != nil {
+		return err
+	}
+	if eng != nil {
+		ctx.SetRunner(timing.Runner{E: eng})
+	}
+	_, err = modeProbeWorkload(ctx, h)
+	return err
+}
+
+// runCheckpointRoundTrip captures a checkpoint mid-GEMM and resumes it in
+// performance mode, verifying the state survives an encode/decode.
+func runCheckpointRoundTrip() error {
+	ctx := cudart.NewContext(exec.BugSet{})
+	h, err := cudnn.Create(ctx)
+	if err != nil {
+		return err
+	}
+	cap := &checkpoint.CaptureRunner{Ctx: ctx, P: checkpoint.Point{KernelX: 1, CTAM: 1, CTAT: 1, InstrY: 30}}
+	ctx.SetRunner(cap)
+	if _, err := modeProbeWorkload(ctx, h); err != nil {
+		return err
+	}
+	if cap.State == nil {
+		return fmt.Errorf("no checkpoint captured")
+	}
+	blob, err := cap.State.Encode()
+	if err != nil {
+		return err
+	}
+	st, err := checkpoint.Decode(blob)
+	if err != nil {
+		return err
+	}
+	ctx2 := cudart.NewContext(exec.BugSet{})
+	h2, err := cudnn.Create(ctx2)
+	if err != nil {
+		return err
+	}
+	eng, err := timing.New(timing.GTX1050())
+	if err != nil {
+		return err
+	}
+	res := &checkpoint.ResumeRunner{Ctx: ctx2, State: st, Engine: eng}
+	ctx2.SetRunner(res)
+	res.Restore()
+	if _, err := modeProbeWorkload(ctx2, h2); err != nil {
+		return err
+	}
+	if eng.Cycle() == 0 {
+		return fmt.Errorf("resume did not run in performance mode")
+	}
+	return nil
+}

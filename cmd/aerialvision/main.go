@@ -1,0 +1,63 @@
+// Command aerialvision runs a conv_sample case and writes the full
+// AerialVision time-series data as CSV files (one per metric), the data
+// behind the paper's Figs. 9-25, for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/aerial"
+	"repro/internal/core"
+)
+
+func main() {
+	dir := flag.String("dir", "fwd", "direction: fwd | bwddata | bwdfilter")
+	algo := flag.String("algo", "fft", "convolution algorithm")
+	out := flag.String("o", "aerial_out", "output directory for CSV files")
+	flag.Parse()
+
+	res, err := core.RunConvSample(core.GTX1080Ti, core.ConvDirection(*dir), *algo, core.DefaultConvShape())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aerialvision:", err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	write := func(name string, rowNames []string, rows [][]float64) {
+		f, err := os.Create(filepath.Join(*out, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := aerial.CSV(f, rowNames, rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", f.Name())
+	}
+
+	st := res.Engine.Stats()
+	for pi, ch := range res.Engine.Partitions() {
+		labels := make([]string, ch.NumBanks())
+		for b := range labels {
+			labels[b] = fmt.Sprintf("bank%d", b)
+		}
+		write(fmt.Sprintf("dram_efficiency_p%d.csv", pi), labels, ch.EfficiencySeries())
+		write(fmt.Sprintf("dram_utilization_p%d.csv", pi), labels, ch.UtilizationSeries())
+	}
+	write("global_ipc.csv", []string{"ipc"}, [][]float64{st.GlobalIPCSeries()})
+	shader := st.ShaderIPCSeries()
+	labels := make([]string, len(shader))
+	for i := range labels {
+		labels[i] = fmt.Sprintf("shader%d", i)
+	}
+	write("shader_ipc.csv", labels, shader)
+	names, series := st.WarpIssueBreakdown()
+	write("warp_breakdown.csv", names, series)
+}

@@ -1,0 +1,98 @@
+// Command convsample reproduces the paper's §V case studies: the cuDNN
+// conv_sample workload swept over every convolution algorithm, with
+// AerialVision-style plots of per-bank DRAM efficiency/utilization,
+// global and per-shader IPC, and the warp-issue breakdown (Figs. 9-25).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/aerial"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	dir := flag.String("dir", "fwd", "direction: fwd | bwddata | bwdfilter")
+	algo := flag.String("algo", "winograd_nonfused", "algorithm (see -sweep for the list)")
+	plots := flag.String("plot", "dram,ipc,warp", "comma-separated plots: dram, ipc, warp")
+	sweep := flag.Bool("sweep", false, "run every algorithm of every direction and print a cycle table")
+	c := flag.Int("c", 8, "input channels")
+	k := flag.Int("k", 8, "output channels")
+	hw := flag.Int("hw", 28, "input height/width")
+	flag.Parse()
+
+	shape := core.DefaultConvShape()
+	shape.C, shape.K, shape.H, shape.W = *c, *k, *hw, *hw
+
+	if *sweep {
+		runSweep(shape)
+		return
+	}
+
+	res, err := core.RunConvSample(core.GTX1080Ti, core.ConvDirection(*dir), *algo, shape)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "convsample:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("conv_sample %s/%s on GTX 1080 Ti model: %d cycles, %d kernels, IPC %.2f\n\n",
+		*dir, *algo, res.Cycles, len(res.Kernels), res.Engine.Stats().TotalIPC(res.Cycles))
+
+	want := map[string]bool{}
+	for _, p := range strings.Split(*plots, ",") {
+		want[strings.TrimSpace(p)] = true
+	}
+	st := res.Engine.Stats()
+	interval := st.Interval()
+	if want["dram"] {
+		for pi, ch := range res.Engine.Partitions() {
+			aerial.HeatMap(os.Stdout,
+				fmt.Sprintf("DRAM efficiency, partition %d (Figs. 9/11/13/17 analog)", pi),
+				ch.EfficiencySeries(),
+				func(i int) string { return fmt.Sprintf("bank %d", i) }, interval)
+			aerial.HeatMap(os.Stdout,
+				fmt.Sprintf("DRAM utilization, partition %d (Figs. 10/12/14 analog)", pi),
+				ch.UtilizationSeries(),
+				func(i int) string { return fmt.Sprintf("bank %d", i) }, interval)
+			if pi >= 1 {
+				fmt.Printf("(… %d more partitions elided; use CSV output for all)\n",
+					len(res.Engine.Partitions())-pi-1)
+				break
+			}
+		}
+	}
+	if want["ipc"] {
+		aerial.Line(os.Stdout, "global IPC (Figs. 15/18/20/24 analog)", st.GlobalIPCSeries(), interval)
+		aerial.HeatMap(os.Stdout, "per-shader IPC (Figs. 16/19/21/25 analog)",
+			st.ShaderIPCSeries(),
+			func(i int) string { return fmt.Sprintf("shader %d", i) }, interval)
+	}
+	if want["warp"] {
+		names, series := st.WarpIssueBreakdown()
+		aerial.StackedSummary(os.Stdout, "warp issue breakdown (Figs. 22/23 analog)", names, series)
+	}
+}
+
+func runSweep(shape core.ConvSampleShape) {
+	var rows [][]string
+	for _, dir := range []core.ConvDirection{core.Forward, core.BackwardData, core.BackwardFilter} {
+		for _, algo := range core.AlgorithmsFor(dir) {
+			res, err := core.RunConvSample(core.GTX1080Ti, dir, algo, shape)
+			if err != nil {
+				rows = append(rows, []string{string(dir), algo, "error: " + err.Error(), "", ""})
+				continue
+			}
+			st := res.Engine.Stats()
+			rows = append(rows, []string{
+				string(dir), algo,
+				fmt.Sprint(res.Cycles),
+				fmt.Sprintf("%.2f", st.TotalIPC(res.Cycles)),
+				fmt.Sprint(len(res.Kernels)),
+			})
+		}
+	}
+	fmt.Print(stats.Table([]string{"direction", "algorithm", "cycles", "ipc", "kernels"}, rows))
+}

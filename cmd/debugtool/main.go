@@ -1,0 +1,130 @@
+// Command debugtool demonstrates the paper's §III-D functional-debug
+// methodology end to end (Figs. 2-3): inject a faulty instruction
+// implementation into the simulator, then localise it by differential
+// coverage, API-call/kernel bisection, and instruction-level comparison
+// against the golden executor.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cudart"
+	"repro/internal/cudnn"
+	"repro/internal/debug"
+	"repro/internal/exec"
+	"repro/internal/ptx"
+)
+
+func main() {
+	opName := flag.String("break", "rem", "opcode whose implementation to break (rem, div, brev, shr, fma)")
+	entries := flag.Int("entries", 4096, "instruction-log entries per thread")
+	flag.Parse()
+
+	var op ptx.Op
+	switch *opName {
+	case "rem":
+		op = ptx.OpRem
+	case "div":
+		op = ptx.OpDiv
+	case "brev":
+		op = ptx.OpBrev
+	case "shr":
+		op = ptx.OpShr
+	case "fma":
+		op = ptx.OpFma
+	default:
+		fmt.Fprintf(os.Stderr, "unknown opcode %q\n", *opName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("injecting a faulty %s implementation into the simulator…\n", op)
+	tool := &debug.Tool{
+		Workload:         workload,
+		Regression:       regression,
+		Bugs:             exec.BugSet{BreakOp: op},
+		EntriesPerThread: *entries,
+	}
+	rep, err := tool.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "debugtool:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\nstep 1 — differential coverage (failing app vs regression suite):")
+	if len(rep.SuspiciousPaths) == 0 {
+		fmt.Println("  (no exclusive paths)")
+	}
+	for _, p := range rep.SuspiciousPaths {
+		fmt.Printf("  suspicious implementation path: %s.%s\n", p.Op, p.T)
+	}
+
+	fmt.Println("\nstep 2 — API-call / kernel bisection:")
+	if rep.BadLaunch < 0 {
+		fmt.Println("  no output divergence found")
+		return
+	}
+	fmt.Printf("  first incorrect API call: %s\n", rep.BadAPI)
+	fmt.Printf("  first incorrect kernel:   %s (launch %d)\n", rep.BadKernel, rep.BadLaunch)
+
+	fmt.Println("\nstep 3 — instruction bisection (instrumented PTX replay):")
+	fmt.Printf("  first incorrectly executing instruction: pc %d: %s\n", rep.BadPC, rep.BadInstr)
+	fmt.Printf("  thread %d: golden value %#x, simulator value %#x\n",
+		rep.BadThread, rep.GoldenVal, rep.BuggyVal)
+}
+
+func workload(ctx *cudart.Context) error {
+	h, err := cudnn.Create(ctx)
+	if err != nil {
+		return err
+	}
+	// One cudnnConvolutionForward with the FFT algorithm: a multi-kernel
+	// library call, like the paper's failing MNIST conv.
+	xd := cudnn.TensorDesc{N: 1, C: 2, H: 12, W: 12}
+	fd := cudnn.FilterDesc{K: 3, C: 2, R: 5, S: 5}
+	cd := cudnn.ConvDesc{Pad: 0, Stride: 1}
+	x := make([]float32, xd.Count())
+	for i := range x {
+		x[i] = float32(i%17)*0.125 - 1
+	}
+	w := make([]float32, fd.Count())
+	for i := range w {
+		w[i] = float32(i%11)*0.25 - 1.25
+	}
+	px, err := ctx.Malloc(uint64(4 * len(x)))
+	if err != nil {
+		return err
+	}
+	ctx.MemcpyF32HtoD(px, x)
+	pw, err := ctx.Malloc(uint64(4 * len(w)))
+	if err != nil {
+		return err
+	}
+	ctx.MemcpyF32HtoD(pw, w)
+	py, err := ctx.Malloc(uint64(4 * 3 * 8 * 8))
+	if err != nil {
+		return err
+	}
+	_, err = h.ConvolutionForward(cudnn.FwdAlgoFFT, px, xd, pw, fd, cd, py)
+	return err
+}
+
+func regression(ctx *cudart.Context) error {
+	h, err := cudnn.Create(ctx)
+	if err != nil {
+		return err
+	}
+	px, err := ctx.Malloc(4 * 256)
+	if err != nil {
+		return err
+	}
+	py, err := ctx.Malloc(4 * 256)
+	if err != nil {
+		return err
+	}
+	if err := h.ActivationForward(px, py, 256); err != nil {
+		return err
+	}
+	return h.Gemm(px, py, px, 8, 8, 8, 1, 0)
+}

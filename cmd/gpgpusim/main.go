@@ -1,0 +1,152 @@
+// Command gpgpusim runs a standalone PTX file on the simulator, in
+// functional or performance mode — the equivalent of invoking GPGPU-Sim
+// on a CUDA binary's extracted PTX.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cudart"
+	"repro/internal/exec"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "entry name to launch (default: first kernel of the file)")
+	grid := flag.String("grid", "1,1,1", "grid dimensions x,y,z")
+	block := flag.String("block", "32,1,1", "block dimensions x,y,z")
+	perf := flag.Bool("perf", false, "use the Performance simulation mode (GTX 1050)")
+	args := flag.String("args", "", "comma-separated kernel arguments: bufN (device buffer of N floats), iV (u32), fV (f32)")
+	dump := flag.Int("dump", 8, "floats to dump from each buffer argument after the run")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gpgpusim [flags] file.ptx")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ctx := cudart.NewContext(exec.BugSet{})
+	var eng *timing.Engine
+	if *perf {
+		eng, err = timing.New(timing.GTX1050())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ctx.SetRunner(timing.Runner{E: eng})
+	}
+	mod, err := ctx.RegisterModule(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parse:", err)
+		os.Exit(1)
+	}
+	name := *kernel
+	if name == "" {
+		names := mod.KernelNames()
+		if len(names) == 0 {
+			fmt.Fprintln(os.Stderr, "no kernels in module")
+			os.Exit(1)
+		}
+		name = names[0]
+	}
+
+	p := cudart.NewParams()
+	var bufs []uint64
+	var bufLens []int
+	if *args != "" {
+		for _, a := range strings.Split(*args, ",") {
+			a = strings.TrimSpace(a)
+			switch {
+			case strings.HasPrefix(a, "buf"):
+				n, err := strconv.Atoi(a[3:])
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bad buffer arg %q\n", a)
+					os.Exit(2)
+				}
+				addr, err := ctx.Malloc(uint64(4 * n))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				init := make([]float32, n)
+				for i := range init {
+					init[i] = float32(i)
+				}
+				ctx.MemcpyF32HtoD(addr, init)
+				p.Ptr(addr)
+				bufs = append(bufs, addr)
+				bufLens = append(bufLens, n)
+			case strings.HasPrefix(a, "i"):
+				v, err := strconv.ParseUint(a[1:], 0, 32)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bad int arg %q\n", a)
+					os.Exit(2)
+				}
+				p.U32(uint32(v))
+			case strings.HasPrefix(a, "f"):
+				v, err := strconv.ParseFloat(a[1:], 32)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bad float arg %q\n", a)
+					os.Exit(2)
+				}
+				p.F32(float32(v))
+			default:
+				fmt.Fprintf(os.Stderr, "bad arg %q\n", a)
+				os.Exit(2)
+			}
+		}
+	}
+
+	st, err := ctx.Launch(name, parseDim(*grid), parseDim(*block), p, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "launch:", err)
+		os.Exit(1)
+	}
+	mode := "functional"
+	if *perf {
+		mode = "performance"
+	}
+	fmt.Printf("kernel %s: %s mode, %d warp instructions", name, mode, st.WarpInstrs)
+	if *perf {
+		fmt.Printf(", %d cycles, IPC %.2f", st.Cycles,
+			float64(st.WarpInstrs)/float64(st.Cycles))
+	}
+	fmt.Println()
+	for i, addr := range bufs {
+		n := bufLens[i]
+		if n > *dump {
+			n = *dump
+		}
+		vals := ctx.MemcpyF32DtoH(addr, n)
+		parts := make([]string, n)
+		for j, v := range vals {
+			parts[j] = stats.Fmt(float64(v))
+		}
+		fmt.Printf("buf%d[0:%d] = [%s]\n", i, n, strings.Join(parts, " "))
+	}
+}
+
+func parseDim(s string) exec.Dim3 {
+	parts := strings.Split(s, ",")
+	d := exec.Dim3{X: 1, Y: 1, Z: 1}
+	if len(parts) > 0 {
+		d.X, _ = strconv.Atoi(strings.TrimSpace(parts[0]))
+	}
+	if len(parts) > 1 {
+		d.Y, _ = strconv.Atoi(strings.TrimSpace(parts[1]))
+	}
+	if len(parts) > 2 {
+		d.Z, _ = strconv.Atoi(strings.TrimSpace(parts[2]))
+	}
+	return d
+}

@@ -1,0 +1,150 @@
+// Command mnistsim reproduces the paper's §IV evaluation: LeNet/MNIST on
+// the detailed GPU timing model, correlated against the hardware oracle
+// (Figs. 6-7), with the GPUWattch-style power breakdown (Fig. 8), plus
+// the checkpoint/resume flow (§III-F).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/cudart"
+	"repro/internal/cudnn"
+	"repro/internal/exec"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+func main() {
+	images := flag.Int("images", 3, "number of MNIST images to classify (the paper uses 3)")
+	fig6 := flag.Bool("fig6", false, "print only the Fig. 6 overall correlation")
+	fig7 := flag.Bool("fig7", false, "print only the Fig. 7 per-kernel correlation")
+	fig8 := flag.Bool("fig8", false, "print only the Fig. 8 power breakdown")
+	doCkpt := flag.Bool("checkpoint", false, "demonstrate checkpoint/resume instead")
+	flag.Parse()
+
+	if *doCkpt {
+		if err := checkpointDemo(); err != nil {
+			fmt.Fprintln(os.Stderr, "checkpoint demo:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	res, err := core.RunMNISTCorrelation(*images)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mnistsim:", err)
+		os.Exit(1)
+	}
+	all := !*fig6 && !*fig7 && !*fig8
+
+	if all {
+		fmt.Printf("LeNet/MNIST inference, %d image(s), GTX 1050 model\n", res.Images)
+		fmt.Printf("self-check (GPU vs CPU reference classifications): ok=%v gpu=%v cpu=%v\n\n",
+			res.SelfCheckOK, res.GPUClasses, res.CPUClasses)
+	}
+	if all || *fig6 {
+		c := res.Correlation
+		fmt.Println("-- Fig. 6: overall execution time correlation --")
+		fmt.Printf("hardware (oracle): %.0f cycles\n", c.TotalHW)
+		fmt.Printf("simulator:         %.0f cycles\n", c.TotalSim)
+		fmt.Printf("overall error:     %.1f%% (paper: within 30%%)\n\n", c.OverallError*100)
+	}
+	if all || *fig7 {
+		c := res.Correlation
+		fmt.Println("-- Fig. 7: per-kernel relative execution time --")
+		var rows [][]string
+		for _, k := range c.Kernels {
+			rel := k.SimCycles / k.HWCycles * 100
+			rows = append(rows, []string{
+				k.Name, fmt.Sprint(k.Launches),
+				stats.Fmt(k.HWCycles), stats.Fmt(k.SimCycles),
+				fmt.Sprintf("%.0f%%", rel),
+			})
+		}
+		fmt.Print(stats.Table(
+			[]string{"kernel", "launches", "hw cycles", "sim cycles", "sim/hw"}, rows))
+		fmt.Printf("Pearson correlation: %.2f (paper reports 72%%)\n\n", c.Pearson)
+	}
+	if all || *fig8 {
+		fmt.Println("-- Fig. 8: average power breakdown --")
+		names, watts := res.Power.Components()
+		total := res.Power.Total()
+		for i, n := range names {
+			fmt.Printf("%-10s %6.1f W  (%4.1f%%)\n", n, watts[i], watts[i]/total*100)
+		}
+		fmt.Printf("%-10s %6.1f W\n", "Total", total)
+	}
+}
+
+func checkpointDemo() error {
+	fmt.Println("-- §III-F checkpoint/resume demo --")
+	build := func(bugs exec.BugSet) (*cudart.Context, *cudnn.Handle, error) {
+		ctx := cudart.NewContext(bugs)
+		h, err := cudnn.Create(ctx)
+		return ctx, h, err
+	}
+	work := func(ctx *cudart.Context, h *cudnn.Handle) (uint64, error) {
+		m, n, k := 64, 48, 32
+		px, err := ctx.Malloc(uint64(4 * m * k))
+		if err != nil {
+			return 0, err
+		}
+		pw, err := ctx.Malloc(uint64(4 * k * n))
+		if err != nil {
+			return 0, err
+		}
+		pc, err := ctx.Malloc(uint64(4 * m * n))
+		if err != nil {
+			return 0, err
+		}
+		if err := h.ActivationForward(px, px, m*k); err != nil {
+			return 0, err
+		}
+		if err := h.Gemm(px, pw, pc, m, n, k, 1, 0); err != nil {
+			return 0, err
+		}
+		return pc, h.ActivationForward(pc, pc, m*n)
+	}
+
+	ctx, h, err := build(exec.BugSet{})
+	if err != nil {
+		return err
+	}
+	p := checkpoint.Point{KernelX: 1, CTAM: 2, CTAT: 1, InstrY: 50}
+	cap := &checkpoint.CaptureRunner{Ctx: ctx, P: p}
+	ctx.SetRunner(cap)
+	if _, err := work(ctx, h); err != nil {
+		return err
+	}
+	blob, err := cap.State.Encode()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("captured at kernel x=%d CTA M=%d t=%d y=%d: %d in-flight CTAs, %d bytes\n",
+		p.KernelX, p.CTAM, p.CTAT, p.InstrY, len(cap.State.CTAs), len(blob))
+
+	st, err := checkpoint.Decode(blob)
+	if err != nil {
+		return err
+	}
+	ctx2, h2, err := build(exec.BugSet{})
+	if err != nil {
+		return err
+	}
+	eng, err := timing.New(timing.GTX1050())
+	if err != nil {
+		return err
+	}
+	res := &checkpoint.ResumeRunner{Ctx: ctx2, State: st, Engine: eng}
+	ctx2.SetRunner(res)
+	res.Restore()
+	if _, err := work(ctx2, h2); err != nil {
+		return err
+	}
+	fmt.Printf("resumed in performance mode: %d cycles simulated from the checkpoint\n", eng.Cycle())
+	return nil
+}

@@ -1,0 +1,70 @@
+// debug_workflow reproduces the paper's §III-D debugging episode as a
+// library user would: inject GPGPU-Sim's kind of functional bug into the
+// simulator, watch the MNIST-style convolution break, and let the debug
+// tool walk its three steps down to the first faulty instruction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gpgpusim "repro"
+	"repro/internal/cudart"
+	"repro/internal/cudnn"
+	"repro/internal/ptx"
+)
+
+func main() {
+	workload := func(ctx *cudart.Context) error {
+		h, err := cudnn.Create(ctx)
+		if err != nil {
+			return err
+		}
+		xd := cudnn.TensorDesc{N: 1, C: 1, H: 28, W: 28}
+		fd := cudnn.FilterDesc{K: 4, C: 1, R: 5, S: 5}
+		cd := cudnn.ConvDesc{Pad: 0, Stride: 1}
+		x := make([]float32, xd.Count())
+		for i := range x {
+			x[i] = float32(i%29) * 0.1
+		}
+		w := make([]float32, fd.Count())
+		for i := range w {
+			w[i] = float32(i%7)*0.3 - 1
+		}
+		px, err := ctx.Malloc(uint64(4 * len(x)))
+		if err != nil {
+			return err
+		}
+		ctx.MemcpyF32HtoD(px, x)
+		pw, err := ctx.Malloc(uint64(4 * len(w)))
+		if err != nil {
+			return err
+		}
+		ctx.MemcpyF32HtoD(pw, w)
+		py, err := ctx.Malloc(uint64(4 * 4 * 24 * 24))
+		if err != nil {
+			return err
+		}
+		// The FFT algorithm: the same path in which the paper found the
+		// rem bug inside fft2d_r2c_32x32 (28x28 + 5x5 -> 32x32 frames).
+		_, err = h.ConvolutionForward(cudnn.FwdAlgoFFT, px, xd, pw, fd, cd, py)
+		return err
+	}
+
+	fmt.Println("injecting a faulty rem implementation (the paper's bug class)…")
+	tool := &gpgpusim.DebugTool{
+		Workload: workload,
+		Bugs:     gpgpusim.BugSet{BreakOp: ptx.OpRem},
+	}
+	rep, err := tool.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.BadLaunch < 0 {
+		log.Fatal("the injected bug produced no divergence")
+	}
+	fmt.Printf("step 2: first incorrect API call: %s\n", rep.BadAPI)
+	fmt.Printf("        first incorrect kernel:   %s (launch %d)\n", rep.BadKernel, rep.BadLaunch)
+	fmt.Printf("step 3: first faulty instruction: pc %d: %s\n", rep.BadPC, rep.BadInstr)
+	fmt.Printf("        golden=%#x simulator=%#x (thread %d)\n", rep.GoldenVal, rep.BuggyVal, rep.BadThread)
+}

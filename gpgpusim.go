@@ -1,0 +1,117 @@
+// Package gpgpusim is the public API of this reproduction of "Analyzing
+// Machine Learning Workloads Using a Detailed GPU Simulator" (Lew et al.,
+// ISPASS 2019): a GPGPU-Sim-style PTX simulator able to run cuDNN-style
+// deep-learning workloads, together with the paper's correlation, power
+// and AerialVision case-study experiments.
+//
+// The heavy lifting lives in internal packages; this package re-exports
+// the surfaces a downstream user needs:
+//
+//   - NewContext / Context: a CUDA-runtime context over the simulated GPU
+//     (functional mode by default).
+//   - CreateCuDNN: the cuDNN-analog library handle (registers the PTX
+//     kernel corpus: GEMM, implicit GEMM, FFT, FFT-tiling, Winograd
+//     fused/non-fused, LRN, pooling, softmax, ...).
+//   - NewTimingEngine + UseTiming: switch a context into the cycle-level
+//     Performance simulation mode (GTX 1050 / GTX 1080 Ti models).
+//   - NewDevice / LeNet / dataset helpers: the PyTorch-analog framework
+//     and the MNIST workload.
+//   - RunMNISTCorrelation / RunConvSample: the paper's experiments.
+//   - DebugTool: the §III-D functional-debug methodology.
+//   - CheckpointCapture / CheckpointResume: the §III-F flow.
+//
+// See README.md for a quickstart and DESIGN.md for the system inventory.
+package gpgpusim
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/cudart"
+	"repro/internal/cudnn"
+	"repro/internal/debug"
+	"repro/internal/exec"
+	"repro/internal/mnist"
+	"repro/internal/timing"
+	"repro/internal/torch"
+)
+
+// Core simulator types.
+type (
+	// Context is a CUDA-runtime context over the simulated GPU.
+	Context = cudart.Context
+	// Params marshals kernel launch arguments.
+	Params = cudart.Params
+	// KernelStats summarises one kernel execution.
+	KernelStats = cudart.KernelStats
+	// Dim3 is a CUDA dim3.
+	Dim3 = exec.Dim3
+	// BugSet selects injected functional bugs (zero value = correct).
+	BugSet = exec.BugSet
+	// TimingConfig describes a modelled GPU.
+	TimingConfig = timing.Config
+	// TimingEngine is the cycle-level performance model.
+	TimingEngine = timing.Engine
+	// CuDNN is the cuDNN-analog library handle.
+	CuDNN = cudnn.Handle
+	// Device is the PyTorch-analog device.
+	Device = torch.Device
+	// LeNet is the MNIST workload model.
+	LeNet = mnist.LeNet
+	// DebugTool drives the §III-D functional-debug flow.
+	DebugTool = debug.Tool
+	// DebugReport is the debug flow's finding.
+	DebugReport = debug.Report
+	// CheckpointPoint selects where to checkpoint (§III-F).
+	CheckpointPoint = checkpoint.Point
+	// CheckpointState is captured Data1+Data2.
+	CheckpointState = checkpoint.State
+	// GPU selects a modelled card for the experiments.
+	GPU = core.GPU
+)
+
+// GPU presets.
+const (
+	GTX1050   = core.GTX1050
+	GTX1080Ti = core.GTX1080Ti
+)
+
+// NewContext creates a functional-mode simulator context.
+func NewContext(bugs BugSet) *Context { return cudart.NewContext(bugs) }
+
+// NewParams returns a kernel argument builder.
+func NewParams() *Params { return cudart.NewParams() }
+
+// CreateCuDNN registers the kernel library on a context and returns the
+// cuDNN-analog handle.
+func CreateCuDNN(ctx *Context) (*CuDNN, error) { return cudnn.Create(ctx) }
+
+// NewTimingEngine builds a cycle-level engine for a GPU preset.
+func NewTimingEngine(gpu GPU) (*TimingEngine, error) {
+	cfg, err := gpu.TimingConfig()
+	if err != nil {
+		return nil, err
+	}
+	return timing.New(cfg)
+}
+
+// UseTiming switches a context into Performance simulation mode.
+func UseTiming(ctx *Context, e *TimingEngine) { ctx.SetRunner(timing.Runner{E: e}) }
+
+// NewDevice creates a PyTorch-analog device over a fresh simulated GPU.
+func NewDevice(bugs BugSet) (*Device, error) { return torch.NewDevice(bugs) }
+
+// NewLeNet builds the MNIST workload on a fresh functional device.
+func NewLeNet(bugs BugSet) (*LeNet, *Device, error) { return mnist.NewDefaultLeNet(bugs) }
+
+// NewMNISTDataset builds the deterministic synthetic MNIST-like dataset.
+func NewMNISTDataset(seed int64) *mnist.Dataset { return mnist.NewDataset(seed) }
+
+// RunMNISTCorrelation reproduces the paper's §IV (Figs. 6-8).
+func RunMNISTCorrelation(images int) (*core.MNISTCorrelationResult, error) {
+	return core.RunMNISTCorrelation(images)
+}
+
+// RunConvSample reproduces one case of the paper's §V sweep (Figs. 9-25).
+func RunConvSample(gpu GPU, dir core.ConvDirection, algo string, shape core.ConvSampleShape) (*core.ConvSampleResult, error) {
+	return core.RunConvSample(gpu, dir, algo, shape)
+}

@@ -1,0 +1,78 @@
+package aerial
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeatMapRendering(t *testing.T) {
+	var b strings.Builder
+	rows := [][]float64{
+		{0, 0.5, 1.0},
+		{1.0, 0, 0.5},
+	}
+	HeatMap(&b, "test", rows, func(i int) string { return "row" }, 100)
+	out := b.String()
+	if !strings.Contains(out, "== test ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("max value should render as the brightest shade")
+	}
+	if strings.Count(out, "|") != 4 {
+		t.Errorf("expected 2 framed rows:\n%s", out)
+	}
+}
+
+func TestHeatMapDownsamples(t *testing.T) {
+	var b strings.Builder
+	wide := make([]float64, 1000)
+	for i := range wide {
+		wide[i] = float64(i % 7)
+	}
+	HeatMap(&b, "wide", [][]float64{wide}, func(int) string { return "r" }, 10)
+	for _, line := range strings.Split(b.String(), "\n") {
+		if len(line) > 140 {
+			t.Fatalf("row not downsampled to terminal width: %d chars", len(line))
+		}
+	}
+}
+
+func TestHeatMapEmpty(t *testing.T) {
+	var b strings.Builder
+	HeatMap(&b, "empty", nil, func(int) string { return "" }, 1)
+	if !strings.Contains(b.String(), "no data") {
+		t.Error("empty input should say so")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, []string{"a", "b"}, [][]float64{{1, 2, 3}, {4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "series,0,1,2" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "a,1,2,3" {
+		t.Errorf("row a = %q", lines[1])
+	}
+	if lines[2] != "b,4,0,0" { // short rows padded with zeros
+		t.Errorf("row b = %q", lines[2])
+	}
+}
+
+func TestStackedSummarySkipsZeroRows(t *testing.T) {
+	var b strings.Builder
+	StackedSummary(&b, "warp", []string{"used", "empty"},
+		[][]float64{{0.5, 0.5}, {0, 0}})
+	out := b.String()
+	if !strings.Contains(out, "used") {
+		t.Error("non-zero row missing")
+	}
+	if strings.Contains(out, "empty") {
+		t.Error("all-zero row should be skipped")
+	}
+}

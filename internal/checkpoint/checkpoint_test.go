@@ -1,0 +1,192 @@
+package checkpoint_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cudart"
+	"repro/internal/cudnn"
+	"repro/internal/exec"
+	"repro/internal/ref"
+	"repro/internal/timing"
+)
+
+// workload launches a 3-kernel pipeline (relu, gemm, relu) so the
+// checkpoint can land inside the middle kernel.
+func workload(t *testing.T, ctx *cudart.Context, h *cudnn.Handle, x, w []float32, m, n, k int) (uint64, error) {
+	t.Helper()
+	px, err := ctx.Malloc(uint64(4 * len(x)))
+	if err != nil {
+		return 0, err
+	}
+	ctx.MemcpyF32HtoD(px, x)
+	pw, err := ctx.Malloc(uint64(4 * len(w)))
+	if err != nil {
+		return 0, err
+	}
+	ctx.MemcpyF32HtoD(pw, w)
+	pa, err := ctx.Malloc(uint64(4 * len(x)))
+	if err != nil {
+		return 0, err
+	}
+	pc, err := ctx.Malloc(uint64(4 * m * n))
+	if err != nil {
+		return 0, err
+	}
+	if err := h.ActivationForward(px, pa, len(x)); err != nil {
+		return 0, err
+	}
+	if err := h.Gemm(pa, pw, pc, m, n, k, 1, 0); err != nil {
+		return 0, err
+	}
+	if err := h.ActivationForward(pc, pc, m*n); err != nil {
+		return 0, err
+	}
+	return pc, nil
+}
+
+func expected(x, w []float32, m, n, k int) []float32 {
+	a := ref.Relu(x)
+	c := make([]float32, m*n)
+	ref.Gemm(a, w, c, m, n, k, 1, 0)
+	return ref.Relu(c)
+}
+
+func TestCheckpointResumeMatchesDirectRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	m, n, k := 48, 40, 32
+	x := make([]float32, m*k)
+	w := make([]float32, k*n)
+	for i := range x {
+		x[i] = rng.Float32()*2 - 1
+	}
+	for i := range w {
+		w[i] = rng.Float32()*2 - 1
+	}
+	want := expected(x, w, m, n, k)
+
+	points := []checkpoint.Point{
+		{KernelX: 1, CTAM: 2, CTAT: 1, InstrY: 40}, // inside the gemm
+		{KernelX: 1, CTAM: 0, CTAT: 2, InstrY: 5},  // from the very start
+		{KernelX: 2, CTAM: 0, CTAT: 0, InstrY: 10}, // inside the last relu
+	}
+	for _, p := range points {
+		// --- capture phase (functional fast-forward) ---
+		ctx := cudart.NewContext(exec.BugSet{})
+		h, err := cudnn.Create(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap := &checkpoint.CaptureRunner{Ctx: ctx, P: p}
+		ctx.SetRunner(cap)
+		if _, err := workload(t, ctx, h, x, w, m, n, k); err != nil {
+			t.Fatalf("capture workload: %v", err)
+		}
+		if cap.State == nil {
+			t.Fatalf("point %+v: no checkpoint captured", p)
+		}
+		blob, err := cap.State.Encode()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		st, err := checkpoint.Decode(blob)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+
+		// --- resume phase (performance mode) ---
+		ctx2 := cudart.NewContext(exec.BugSet{})
+		h2, err := cudnn.Create(ctx2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := timing.New(timing.GTX1050())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := &checkpoint.ResumeRunner{Ctx: ctx2, State: st, Engine: eng}
+		ctx2.SetRunner(res)
+		res.Restore()
+		pc, err := workload(t, ctx2, h2, x, w, m, n, k)
+		if err != nil {
+			t.Fatalf("resume workload: %v", err)
+		}
+		got := ctx2.MemcpyF32DtoH(pc, m*n)
+		for i := range got {
+			d := got[i] - want[i]
+			if d < -1e-3 || d > 1e-3 {
+				t.Fatalf("point %+v: result[%d] = %v, want %v", p, i, got[i], want[i])
+			}
+		}
+		if eng.Cycle() == 0 {
+			t.Fatalf("point %+v: resume did not run in performance mode", p)
+		}
+	}
+}
+
+// TestCheckpointCapturesData1 checks the checkpoint actually contains
+// mid-kernel register/SIMT state for the in-flight CTAs.
+func TestCheckpointCapturesData1(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m, n, k := 48, 40, 32
+	x := make([]float32, m*k)
+	w := make([]float32, k*n)
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	for i := range w {
+		w[i] = rng.Float32()
+	}
+	ctx := cudart.NewContext(exec.BugSet{})
+	h, err := cudnn.Create(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := checkpoint.Point{KernelX: 1, CTAM: 0, CTAT: 1, InstrY: 25}
+	cap := &checkpoint.CaptureRunner{Ctx: ctx, P: p}
+	ctx.SetRunner(cap)
+	if _, err := workload(t, ctx, h, x, w, m, n, k); err != nil {
+		t.Fatal(err)
+	}
+	st := cap.State
+	if st == nil {
+		t.Fatal("no checkpoint")
+	}
+	if st.Kernel != "sgemm_tiled" {
+		t.Fatalf("checkpoint kernel = %q, want sgemm_tiled", st.Kernel)
+	}
+	if len(st.CTAs) != 2 {
+		t.Fatalf("expected 2 in-flight CTAs, got %d", len(st.CTAs))
+	}
+	for _, cs := range st.CTAs {
+		if len(cs.Warps) == 0 {
+			t.Fatal("CTA state missing warps")
+		}
+		var executed uint64
+		nonZeroRegs := 0
+		for _, ws := range cs.Warps {
+			executed += ws.InstrCount
+			for _, r := range ws.Regs {
+				if r != 0 {
+					nonZeroRegs++
+				}
+			}
+			if len(ws.Stack) == 0 && !ws.Done {
+				t.Fatal("live warp with empty SIMT stack")
+			}
+		}
+		if executed == 0 {
+			t.Fatal("in-flight CTA executed no instructions before snapshot")
+		}
+		if nonZeroRegs == 0 {
+			t.Fatal("register file snapshot is all zeroes")
+		}
+		if len(cs.Shared) == 0 {
+			t.Fatal("shared memory snapshot missing for tiled GEMM")
+		}
+	}
+	if st.Mem == nil || len(st.Mem.PageNums) == 0 {
+		t.Fatal("global memory snapshot (Data2) missing")
+	}
+}

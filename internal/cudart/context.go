@@ -1,0 +1,239 @@
+// Package cudart is the CUDA-runtime analog the paper's workloads call
+// into: device memory management, per-PTX-file module registration (the
+// §III-A fix), kernel launches via both the runtime (cudaLaunch) and
+// driver (cuLaunchKernel) APIs, streams and events including
+// cudaStreamWaitEvent (§III-B), and the texture-binding APIs (§III-C).
+//
+// Execution is pluggable: the default Runner performs fast functional
+// simulation; internal/timing provides the cycle-level performance model
+// (the paper's "Performance simulation mode").
+package cudart
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/ptx"
+)
+
+// KernelStats summarises one kernel execution.
+type KernelStats struct {
+	Name       string
+	LaunchID   int
+	GridDim    exec.Dim3
+	BlockDim   exec.Dim3
+	Cycles     uint64 // 0 in functional mode
+	WarpInstrs uint64
+}
+
+// Runner executes a prepared grid. Functional and timing modes implement
+// this interface.
+type Runner interface {
+	RunKernel(g *exec.Grid) (KernelStats, error)
+}
+
+// FunctionalRunner runs grids in the fast functional mode (no timing).
+type FunctionalRunner struct{}
+
+// RunKernel implements Runner.
+func (FunctionalRunner) RunKernel(g *exec.Grid) (KernelStats, error) {
+	var before uint64
+	m := g.Machine()
+	before = m.Coverage().Total()
+	if err := m.RunGrid(g); err != nil {
+		return KernelStats{}, err
+	}
+	return KernelStats{
+		Name: g.Kernel.Name, GridDim: g.GridDim, BlockDim: g.BlockDim,
+		WarpInstrs: m.Coverage().Total() - before,
+	}, nil
+}
+
+// LaunchRecord captures everything needed to replay a kernel launch in
+// isolation — the data the paper's debug flow saves ("the data which is
+// being copied to the GPU before a kernel is launched, along with the
+// parameters passed into the kernel"), see Fig. 2.
+type LaunchRecord struct {
+	LaunchID int
+	Module   *ptx.Module
+	Kernel   string
+	GridDim  exec.Dim3
+	BlockDim exec.Dim3
+	Shared   int
+	Params   []byte
+	// API is the high-level library call this launch belongs to (e.g.
+	// "cudnnConvolutionForward"); the debug flow's first bisection level.
+	API string
+	// Buffers snapshots each live allocation reachable from a pointer-
+	// sized parameter: base address -> contents at launch time.
+	Buffers map[uint64][]byte
+	// BuffersAfter snapshots the same allocations after the kernel ran.
+	BuffersAfter map[uint64][]byte
+	Stats        KernelStats
+}
+
+// Context is a CUDA context: memory, modules, streams, events, textures.
+type Context struct {
+	Mem   *device.Memory
+	Alloc *device.Allocator
+	Tex   *device.TextureRegistry
+	M     *exec.Machine
+
+	runner  Runner
+	modules []*ptx.Module
+
+	streams     map[Stream]*streamState
+	events      map[Event]*eventState
+	nextStream  Stream
+	nextEvent   Event
+	timeline    timeline
+	launchCount int
+	capture     bool
+	apiTag      string
+	captureLog  []*LaunchRecord
+	kernelStats []KernelStats
+	texRefs     map[string]*device.TexRef // host texref handles by symbol
+}
+
+// NewContext creates a context with a fresh device and functional runner.
+func NewContext(bugs exec.BugSet) *Context {
+	mem := device.NewMemory()
+	tex := device.NewTextureRegistry()
+	c := &Context{
+		Mem:     mem,
+		Alloc:   device.NewAllocator(),
+		Tex:     tex,
+		M:       exec.NewMachine(exec.Config{Bugs: bugs}, mem, tex),
+		runner:  FunctionalRunner{},
+		streams: make(map[Stream]*streamState),
+		events:  make(map[Event]*eventState),
+		texRefs: make(map[string]*device.TexRef),
+	}
+	c.streams[DefaultStream] = &streamState{}
+	return c
+}
+
+// SetRunner installs a Runner (e.g. the timing model). The paper's
+// checkpoint flow switches a context from functional to performance mode.
+func (c *Context) SetRunner(r Runner) { c.runner = r }
+
+// Runner returns the active runner.
+func (c *Context) Runner() Runner { return c.runner }
+
+// RegisterModule parses one PTX translation unit and registers its
+// kernels. Each embedded PTX file of a library must be registered with a
+// separate call — GPGPU-Sim originally merged all PTX into one file and
+// failed on cuDNN's duplicate symbol names (paper §III-A); keeping modules
+// separate is the fix.
+func (c *Context) RegisterModule(src string) (*ptx.Module, error) {
+	m, err := ptx.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c.modules = append(c.modules, m)
+	for _, name := range m.Textures {
+		if _, ok := c.texRefs[name]; !ok {
+			ref := &device.TexRef{}
+			c.Tex.RegisterTexture(name, ref)
+			c.texRefs[name] = ref
+		}
+	}
+	return m, nil
+}
+
+// Modules returns the registered modules in registration order.
+func (c *Context) Modules() []*ptx.Module { return c.modules }
+
+// LookupKernel finds a kernel by name, searching modules in registration
+// order (first match wins; use cuLaunchKernel with an explicit module to
+// disambiguate duplicates).
+func (c *Context) LookupKernel(name string) (*ptx.Module, *ptx.Kernel, error) {
+	for _, m := range c.modules {
+		if k, ok := m.Kernels[name]; ok {
+			return m, k, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("cudart: no kernel named %q in %d registered modules", name, len(c.modules))
+}
+
+// Malloc allocates device memory (cudaMalloc).
+func (c *Context) Malloc(size uint64) (uint64, error) {
+	return c.Alloc.Alloc(size)
+}
+
+// Free releases device memory (cudaFree).
+func (c *Context) Free(addr uint64) error { return c.Alloc.Free(addr) }
+
+// MemcpyHtoD copies host bytes to device (cudaMemcpy HostToDevice).
+func (c *Context) MemcpyHtoD(dst uint64, src []byte) {
+	c.Mem.Write(dst, src)
+	c.timeline.memcpy(DefaultStream, len(src))
+}
+
+// MemcpyDtoH copies device bytes to host.
+func (c *Context) MemcpyDtoH(dst []byte, src uint64) {
+	c.Mem.Read(src, dst)
+	c.timeline.memcpy(DefaultStream, len(dst))
+}
+
+// MemcpyDtoD copies device to device.
+func (c *Context) MemcpyDtoD(dst, src uint64, n int) {
+	buf := make([]byte, n)
+	c.Mem.Read(src, buf)
+	c.Mem.Write(dst, buf)
+	c.timeline.memcpy(DefaultStream, n)
+}
+
+// Memset fills n bytes at dst with value b (cudaMemset).
+func (c *Context) Memset(dst uint64, b byte, n int) {
+	buf := make([]byte, n)
+	if b != 0 {
+		for i := range buf {
+			buf[i] = b
+		}
+	}
+	c.Mem.Write(dst, buf)
+}
+
+// MemcpyF32HtoD writes a []float32 to the device.
+func (c *Context) MemcpyF32HtoD(dst uint64, src []float32) {
+	buf := make([]byte, 4*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	c.MemcpyHtoD(dst, buf)
+}
+
+// MemcpyF32DtoH reads n float32 values from the device.
+func (c *Context) MemcpyF32DtoH(src uint64, n int) []float32 {
+	buf := make([]byte, 4*n)
+	c.MemcpyDtoH(buf, src)
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return out
+}
+
+// CaptureLaunches toggles launch capture for the debug tool.
+func (c *Context) CaptureLaunches(on bool) { c.capture = on }
+
+// SetAPITag labels subsequent launches with the high-level library call
+// they implement; the cudnn layer sets this on every public entry point.
+func (c *Context) SetAPITag(tag string) { c.apiTag = tag }
+
+// CapturedLaunches returns the captured launch records.
+func (c *Context) CapturedLaunches() []*LaunchRecord { return c.captureLog }
+
+// KernelStatsLog returns per-kernel stats in launch order.
+func (c *Context) KernelStatsLog() []KernelStats { return c.kernelStats }
+
+// ResetStats clears accumulated per-kernel statistics and captures.
+func (c *Context) ResetStats() {
+	c.kernelStats = nil
+	c.captureLog = nil
+	c.launchCount = 0
+}

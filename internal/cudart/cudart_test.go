@@ -1,0 +1,185 @@
+package cudart_test
+
+import (
+	"testing"
+
+	"repro/internal/cudart"
+	"repro/internal/exec"
+)
+
+const incrPTX = `
+.version 6.0
+.target sm_61
+.address_size 64
+.visible .entry incr(.param .u64 pX, .param .u32 pN)
+{
+	.reg .pred %p<2>;
+	.reg .f32 %f<3>;
+	.reg .b32 %r<6>;
+	.reg .b64 %rd<4>;
+	ld.param.u64 %rd1, [pX];
+	ld.param.u32 %r1, [pN];
+	mov.u32 %r2, %ctaid.x;
+	mov.u32 %r3, %ntid.x;
+	mov.u32 %r4, %tid.x;
+	mad.lo.s32 %r5, %r2, %r3, %r4;
+	setp.ge.u32 %p1, %r5, %r1;
+	@%p1 bra DONE;
+	cvta.to.global.u64 %rd1, %rd1;
+	mul.wide.u32 %rd2, %r5, 4;
+	add.s64 %rd3, %rd1, %rd2;
+	ld.global.f32 %f1, [%rd3];
+	add.f32 %f2, %f1, 0f3F800000;
+	st.global.f32 [%rd3], %f2;
+DONE:
+	ret;
+}
+`
+
+func TestStreamsAndEvents(t *testing.T) {
+	ctx := cudart.NewContext(exec.BugSet{})
+	if _, err := ctx.RegisterModule(incrPTX); err != nil {
+		t.Fatal(err)
+	}
+	s1 := ctx.StreamCreate()
+	s2 := ctx.StreamCreate()
+	ev := ctx.EventCreate()
+
+	n := 256
+	buf := make([]byte, 4*n)
+	px, err := ctx.Malloc(uint64(4 * n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// async copy on s1, record event, make s2 wait on it — the
+	// cudaStreamWaitEvent pattern the paper added for cuDNN (§III-B).
+	if err := ctx.MemcpyHtoDAsync(px, buf, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.EventRecord(ev, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.StreamWaitEvent(s2, ev); err != nil {
+		t.Fatal(err)
+	}
+	p := cudart.NewParams().Ptr(px).U32(uint32(n))
+	if _, err := ctx.LaunchOnStream(s2, "incr", exec.Dim3{X: 2}, exec.Dim3{X: 128}, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.StreamSynchronize(s2); err != nil {
+		t.Fatal(err)
+	}
+	got := ctx.MemcpyF32DtoH(px, n)
+	for i, v := range got {
+		if v != 1 {
+			t.Fatalf("x[%d] = %v, want 1", i, v)
+		}
+	}
+	// the model timeline must show the copy ordering: s2's kernel starts
+	// no earlier than the event time
+	if ctx.ModelTime() <= 0 {
+		t.Fatal("model timeline did not advance")
+	}
+	// error paths
+	if err := ctx.StreamWaitEvent(cudart.Stream(99), ev); err == nil {
+		t.Fatal("expected invalid-stream error")
+	}
+	if err := ctx.EventRecord(cudart.Event(99), s1); err == nil {
+		t.Fatal("expected invalid-event error")
+	}
+	ctx.StreamDestroy(s1)
+	ctx.StreamDestroy(s2)
+}
+
+func TestEventElapsedAndOverlap(t *testing.T) {
+	ctx := cudart.NewContext(exec.BugSet{})
+	s := ctx.StreamCreate()
+	start := ctx.EventCreate()
+	end := ctx.EventCreate()
+	if err := ctx.EventRecord(start, s); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 1<<20)
+	addr, _ := ctx.Malloc(1 << 20)
+	if err := ctx.MemcpyHtoDAsync(addr, big, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.EventRecord(end, s); err != nil {
+		t.Fatal(err)
+	}
+	dt, err := ctx.EventElapsed(start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt <= 0 {
+		t.Fatalf("elapsed = %v, want > 0", dt)
+	}
+	// two async copies on different streams serialise on the copy engine
+	s2 := ctx.StreamCreate()
+	before := ctx.ModelTime()
+	if err := ctx.MemcpyHtoDAsync(addr, big, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.MemcpyHtoDAsync(addr, big, s2); err != nil {
+		t.Fatal(err)
+	}
+	ctx.DeviceSynchronize()
+	if ctx.ModelTime() <= before {
+		t.Fatal("copy engine occupancy not modelled")
+	}
+}
+
+func TestLaunchErrors(t *testing.T) {
+	ctx := cudart.NewContext(exec.BugSet{})
+	if _, err := ctx.RegisterModule(incrPTX); err != nil {
+		t.Fatal(err)
+	}
+	// unknown kernel
+	if _, err := ctx.Launch("nope", exec.Dim3{X: 1}, exec.Dim3{X: 32}, cudart.NewParams(), 0); err == nil {
+		t.Fatal("expected unknown-kernel error")
+	}
+	// short parameter buffer
+	if _, err := ctx.Launch("incr", exec.Dim3{X: 1}, exec.Dim3{X: 32}, cudart.NewParams(), 0); err == nil {
+		t.Fatal("expected parameter-size error")
+	}
+	// oversized block
+	px, _ := ctx.Malloc(64)
+	p := cudart.NewParams().Ptr(px).U32(4)
+	if _, err := ctx.Launch("incr", exec.Dim3{X: 1}, exec.Dim3{X: 2048}, p, 0); err == nil {
+		t.Fatal("expected block-size error")
+	}
+}
+
+func TestMemoryAPIs(t *testing.T) {
+	ctx := cudart.NewContext(exec.BugSet{})
+	a, err := ctx.Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float32{1, 2, 3, 4}
+	ctx.MemcpyF32HtoD(a, vals)
+	ctx.MemcpyDtoD(b, a, 16)
+	got := ctx.MemcpyF32DtoH(b, 4)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("DtoD[%d] = %v, want %v", i, got[i], vals[i])
+		}
+	}
+	ctx.Memset(b, 0, 16)
+	got = ctx.MemcpyF32DtoH(b, 4)
+	for i := range got {
+		if got[i] != 0 {
+			t.Fatalf("memset[%d] = %v", i, got[i])
+		}
+	}
+	if err := ctx.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Free(a); err == nil {
+		t.Fatal("double free not detected")
+	}
+}

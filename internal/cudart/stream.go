@@ -1,0 +1,203 @@
+package cudart
+
+// Stream is a CUDA stream handle. Streams let cuDNN overlap host-device
+// copies with kernel execution; the paper found GPGPU-Sim's stream support
+// incomplete (missing cudaStreamWaitEvent) and completed it (§III-B).
+type Stream int
+
+// DefaultStream is stream 0.
+const DefaultStream Stream = 0
+
+// Event is a CUDA event handle.
+type Event int
+
+type streamState struct {
+	readyAt float64 // model time (µs) when the stream's last op finishes
+}
+
+type eventState struct {
+	recordedAt float64
+	recorded   bool
+}
+
+// timeline models overlap between streams and the copy engine. Functional
+// effects always happen in call order (which is legal for any correctly
+// synchronised program); the timeline computes what the concurrent
+// schedule would have been, so stream overlap is still observable.
+type timeline struct {
+	copyEngineAt float64
+	now          float64 // host-side issue clock
+	copyBWBytes  float64 // bytes per µs
+}
+
+func (t *timeline) bw() float64 {
+	if t.copyBWBytes == 0 {
+		return 12e3 // ~12 GB/s PCIe 3.0 x16 in bytes/µs
+	}
+	return t.copyBWBytes
+}
+
+func (t *timeline) memcpy(s Stream, n int) {}
+
+// StreamCreate returns a new stream.
+func (c *Context) StreamCreate() Stream {
+	c.nextStream++
+	s := c.nextStream
+	c.streams[s] = &streamState{}
+	return s
+}
+
+// StreamDestroy removes a stream.
+func (c *Context) StreamDestroy(s Stream) {
+	if s != DefaultStream {
+		delete(c.streams, s)
+	}
+}
+
+// EventCreate returns a new event.
+func (c *Context) EventCreate() Event {
+	c.nextEvent++
+	e := c.nextEvent
+	c.events[e] = &eventState{}
+	return e
+}
+
+// EventRecord records the event at the stream's current ready time.
+func (c *Context) EventRecord(e Event, s Stream) error {
+	es, ok := c.events[e]
+	if !ok {
+		return errBadEvent(e)
+	}
+	ss, ok := c.streams[s]
+	if !ok {
+		return errBadStream(s)
+	}
+	es.recordedAt = ss.readyAt
+	es.recorded = true
+	return nil
+}
+
+// StreamWaitEvent makes all later work in the stream wait for the event —
+// the API call the paper added to GPGPU-Sim for cuDNN (§III-B).
+func (c *Context) StreamWaitEvent(s Stream, e Event) error {
+	ss, ok := c.streams[s]
+	if !ok {
+		return errBadStream(s)
+	}
+	es, ok := c.events[e]
+	if !ok {
+		return errBadEvent(e)
+	}
+	if es.recorded && es.recordedAt > ss.readyAt {
+		ss.readyAt = es.recordedAt
+	}
+	return nil
+}
+
+// StreamSynchronize blocks until a stream's work completes. In our
+// in-order functional execution this only advances the host clock.
+func (c *Context) StreamSynchronize(s Stream) error {
+	ss, ok := c.streams[s]
+	if !ok {
+		return errBadStream(s)
+	}
+	if ss.readyAt > c.timeline.now {
+		c.timeline.now = ss.readyAt
+	}
+	return nil
+}
+
+// DeviceSynchronize waits for all streams.
+func (c *Context) DeviceSynchronize() {
+	for _, ss := range c.streams {
+		if ss.readyAt > c.timeline.now {
+			c.timeline.now = ss.readyAt
+		}
+	}
+}
+
+// EventElapsed returns the modelled time between two recorded events in
+// microseconds.
+func (c *Context) EventElapsed(start, end Event) (float64, error) {
+	a, ok := c.events[start]
+	if !ok {
+		return 0, errBadEvent(start)
+	}
+	b, ok := c.events[end]
+	if !ok {
+		return 0, errBadEvent(end)
+	}
+	if !a.recorded || !b.recorded {
+		return 0, errNotRecorded
+	}
+	return b.recordedAt - a.recordedAt, nil
+}
+
+// MemcpyHtoDAsync is an asynchronous host-to-device copy on a stream. The
+// copy happens immediately (in-order functional semantics) but occupies
+// the copy engine and the stream on the model timeline, so overlap with
+// kernels in other streams is reflected in reported times.
+func (c *Context) MemcpyHtoDAsync(dst uint64, src []byte, s Stream) error {
+	ss, ok := c.streams[s]
+	if !ok {
+		return errBadStream(s)
+	}
+	c.Mem.Write(dst, src)
+	t := &c.timeline
+	start := maxF(ss.readyAt, t.copyEngineAt, t.now)
+	dur := float64(len(src)) / t.bw()
+	ss.readyAt = start + dur
+	t.copyEngineAt = start + dur
+	return nil
+}
+
+// MemcpyDtoHAsync is the device-to-host analog of MemcpyHtoDAsync.
+func (c *Context) MemcpyDtoHAsync(dst []byte, src uint64, s Stream) error {
+	ss, ok := c.streams[s]
+	if !ok {
+		return errBadStream(s)
+	}
+	c.Mem.Read(src, dst)
+	t := &c.timeline
+	start := maxF(ss.readyAt, t.copyEngineAt, t.now)
+	dur := float64(len(dst)) / t.bw()
+	ss.readyAt = start + dur
+	t.copyEngineAt = start + dur
+	return nil
+}
+
+// ModelTime returns the current modelled elapsed time (µs) assuming all
+// streams have been synchronised.
+func (c *Context) ModelTime() float64 {
+	t := c.timeline.now
+	for _, ss := range c.streams {
+		if ss.readyAt > t {
+			t = ss.readyAt
+		}
+	}
+	return t
+}
+
+func maxF(vals ...float64) float64 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+type errBadStream Stream
+
+func (e errBadStream) Error() string { return "cudart: invalid stream handle" }
+
+type errBadEvent Event
+
+func (e errBadEvent) Error() string { return "cudart: invalid event handle" }
+
+var errNotRecorded = errString("cudart: event not recorded")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,67 @@
+package cudart
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+)
+
+// MallocArray allocates a cudaArray (cudaMallocArray analog).
+func (c *Context) MallocArray(width, height, channels int) *device.CudaArray {
+	return device.NewCudaArray(width, height, channels)
+}
+
+// MemcpyToArray fills a cudaArray from float32 host data.
+func (c *Context) MemcpyToArray(arr *device.CudaArray, data []float32) error {
+	if len(data) > len(arr.Data) {
+		return fmt.Errorf("cudart: array copy overflow: %d > %d", len(data), len(arr.Data))
+	}
+	copy(arr.Data, data)
+	return nil
+}
+
+// MemcpyToArrayFromDevice fills a cudaArray from device memory (f32).
+func (c *Context) MemcpyToArrayFromDevice(arr *device.CudaArray, src uint64, n int) {
+	buf := make([]byte, 4*n)
+	c.Mem.Read(src, buf)
+	for i := 0; i < n && i < len(arr.Data); i++ {
+		arr.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+}
+
+// RegisterTexture registers an additional texref under a texture name —
+// __cudaRegisterTexture. MNIST registers multiple texrefs against the same
+// name, which the pre-fix GPGPU-Sim map dropped (§III-C).
+func (c *Context) RegisterTexture(name string) *device.TexRef {
+	ref := &device.TexRef{}
+	c.Tex.RegisterTexture(name, ref)
+	if _, ok := c.texRefs[name]; !ok {
+		c.texRefs[name] = ref
+	}
+	return ref
+}
+
+// TexRefByName returns the primary host texref handle for a module-level
+// texture symbol.
+func (c *Context) TexRefByName(name string) (*device.TexRef, error) {
+	ref, ok := c.texRefs[name]
+	if !ok {
+		return nil, fmt.Errorf("cudart: unknown texture symbol %q", name)
+	}
+	return ref, nil
+}
+
+// BindTextureToArray binds an array to a texref (cudaBindTextureToArray).
+// Rebinding implicitly unbinds the previous array first.
+func (c *Context) BindTextureToArray(ref *device.TexRef, arr *device.CudaArray) error {
+	return c.Tex.BindTextureToArray(ref, arr,
+		device.TextureInfo{Format: "f32"},
+		device.TextureReferenceAttr{AddressMode: "clamp", FilterMode: "point"})
+}
+
+// UnbindTexture removes a texref's array binding (cudaUnbindTexture).
+func (c *Context) UnbindTexture(ref *device.TexRef) {
+	c.Tex.UnbindTexture(ref)
+}

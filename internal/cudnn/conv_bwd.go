@@ -1,0 +1,242 @@
+package cudnn
+
+import (
+	"fmt"
+
+	"repro/internal/cudart"
+	"repro/internal/exec"
+)
+
+// ConvolutionBackwardData computes dx from dy and w.
+func (h *Handle) ConvolutionBackwardData(algo ConvBwdDataAlgo, w uint64, fd FilterDesc, dy uint64, yd TensorDesc, cd ConvDesc, dx uint64, xd TensorDesc) error {
+	h.ctx.SetAPITag("cudnnConvolutionBackwardData")
+	if yd.C != fd.K {
+		return fmt.Errorf("cudnn: dy has %d channels, filter has %d outputs", yd.C, fd.K)
+	}
+	switch algo {
+	case BwdDataAlgo0:
+		per := xd.C * xd.H * xd.W
+		p := h.bwdDataParams(dy, w, dx, xd, fd, yd, cd)
+		return h.launch2D("conv_bwd_data_algo0", per, 128, xd.N, p)
+	case BwdDataAlgo1:
+		if err := h.zero(dx, xd.Count()); err != nil {
+			return err
+		}
+		per := fd.K * yd.H * yd.W
+		p := h.bwdDataParams(dy, w, dx, xd, fd, yd, cd)
+		return h.launch2D("conv_bwd_data_algo1", per, 128, xd.N, p)
+	case BwdDataFFTTiling, BwdDataWinograd, BwdDataWinogradNonfused:
+		return h.bwdDataAsForward(algo, w, fd, dy, yd, cd, dx, xd)
+	}
+	return ErrNotSupported{Reason: "unknown backward-data algorithm"}
+}
+
+func (h *Handle) bwdDataParams(dy, w, dx uint64, xd TensorDesc, fd FilterDesc, yd TensorDesc, cd ConvDesc) *cudart.Params {
+	return cudart.NewParams().Ptr(dy).Ptr(w).Ptr(dx).
+		U32(uint32(xd.C)).U32(uint32(xd.H)).U32(uint32(xd.W)).
+		U32(uint32(fd.K)).U32(uint32(fd.R)).U32(uint32(fd.S)).
+		U32(uint32(yd.H)).U32(uint32(yd.W)).
+		U32(uint32(cd.Stride)).U32(uint32(cd.Pad))
+}
+
+// bwdDataAsForward expresses backward-data (stride 1) as a forward
+// convolution of dy with the 180-degree-rotated, KC-transposed filter
+// bank at pad' = R-1-pad, dispatched to the FFT-tiling or Winograd
+// forward path.
+func (h *Handle) bwdDataAsForward(algo ConvBwdDataAlgo, w uint64, fd FilterDesc, dy uint64, yd TensorDesc, cd ConvDesc, dx uint64, xd TensorDesc) error {
+	if cd.Stride != 1 {
+		return ErrNotSupported{Reason: algo.String() + " backward data requires stride 1"}
+	}
+	rot, release, err := h.workspace(uint64(4 * fd.Count()))
+	if err != nil {
+		return err
+	}
+	defer release()
+	p := cudart.NewParams().Ptr(w).Ptr(rot).
+		U32(uint32(fd.K)).U32(uint32(fd.C)).U32(uint32(fd.R)).U32(uint32(fd.S))
+	if err := h.launch1D("rotate_filter_180", fd.Count(), 128, p); err != nil {
+		return err
+	}
+	rfd := FilterDesc{K: fd.C, C: fd.K, R: fd.R, S: fd.S}
+	rcd := ConvDesc{Pad: fd.R - 1 - cd.Pad, Stride: 1}
+	var fwd ConvFwdAlgo
+	switch algo {
+	case BwdDataFFTTiling:
+		fwd = FwdAlgoFFTTiling
+	case BwdDataWinograd:
+		fwd = FwdAlgoWinograd
+	case BwdDataWinogradNonfused:
+		fwd = FwdAlgoWinogradNonfused
+	}
+	got, err := h.ConvolutionForward(fwd, dy, yd, rot, rfd, rcd, dx)
+	if err != nil {
+		return err
+	}
+	if got.H != xd.H || got.W != xd.W || got.C != xd.C {
+		return fmt.Errorf("cudnn: backward-data shape mismatch: got %+v want %+v", got, xd)
+	}
+	return nil
+}
+
+// ConvolutionBackwardFilter computes dw from x and dy.
+func (h *Handle) ConvolutionBackwardFilter(algo ConvBwdFilterAlgo, x uint64, xd TensorDesc, dy uint64, yd TensorDesc, cd ConvDesc, dw uint64, fd FilterDesc) error {
+	h.ctx.SetAPITag("cudnnConvolutionBackwardFilter")
+	switch algo {
+	case BwdFilterAlgo0:
+		n := fd.Count()
+		p := cudart.NewParams().Ptr(x).Ptr(dy).Ptr(dw).
+			U32(uint32(xd.N)).U32(uint32(xd.C)).U32(uint32(xd.H)).U32(uint32(xd.W)).
+			U32(uint32(fd.K)).U32(uint32(fd.R)).U32(uint32(fd.S)).
+			U32(uint32(yd.H)).U32(uint32(yd.W)).
+			U32(uint32(cd.Stride)).U32(uint32(cd.Pad))
+		return h.launch1D("conv_bwd_filter_algo0", n, 64, p)
+	case BwdFilterAlgo1:
+		if err := h.zero(dw, fd.Count()); err != nil {
+			return err
+		}
+		per := fd.K * yd.H * yd.W
+		p := cudart.NewParams().Ptr(x).Ptr(dy).Ptr(dw).
+			U32(uint32(xd.C)).U32(uint32(xd.H)).U32(uint32(xd.W)).
+			U32(uint32(fd.K)).U32(uint32(fd.R)).U32(uint32(fd.S)).
+			U32(uint32(yd.H)).U32(uint32(yd.W)).
+			U32(uint32(cd.Stride)).U32(uint32(cd.Pad))
+		return h.launch2D("conv_bwd_filter_algo1", per, 128, xd.N, p)
+	case BwdFilterAlgo3:
+		p := cudart.NewParams().Ptr(x).Ptr(dy).Ptr(dw).
+			U32(uint32(xd.N)).U32(uint32(xd.C)).U32(uint32(xd.H)).U32(uint32(xd.W)).
+			U32(uint32(fd.K)).U32(uint32(fd.R)).U32(uint32(fd.S)).
+			U32(uint32(yd.H)).U32(uint32(yd.W)).
+			U32(uint32(cd.Stride)).U32(uint32(cd.Pad))
+		_, err := h.ctx.Launch("conv_bwd_filter_algo3",
+			exec.Dim3{X: fd.Count()}, exec.Dim3{X: 256}, p, 0)
+		return err
+	case BwdFilterFFT:
+		return h.bwdFilterFFT(x, xd, dy, yd, cd, dw, fd, false)
+	case BwdFilterFFTTiling:
+		return h.bwdFilterFFT(x, xd, dy, yd, cd, dw, fd, true)
+	case BwdFilterWinogradNonfused:
+		if fd.R != 3 || fd.S != 3 || cd.Stride != 1 {
+			return ErrNotSupported{Reason: "Winograd backward filter requires 3x3 stride 1"}
+		}
+		p := cudart.NewParams().Ptr(x).Ptr(dy).Ptr(dw).
+			U32(uint32(xd.C)).U32(uint32(xd.H)).U32(uint32(xd.W)).
+			U32(uint32(fd.K)).U32(uint32(yd.H)).U32(uint32(yd.W)).
+			U32(uint32(cd.Pad)).U32(uint32(xd.N))
+		_, err := h.ctx.Launch("winograd_bwd_filter",
+			exec.Dim3{X: fd.K * fd.C}, exec.Dim3{X: 64}, p, 0)
+		return err
+	}
+	return ErrNotSupported{Reason: "unknown backward-filter algorithm"}
+}
+
+// bwdFilterFFT computes dW = Σ_n corr(x[n,c], dy[n,k]) in the frequency
+// domain: per image, extract frames/tiles of x (origin -pad) and dy
+// (origin 0, zeroed beyond the valid window), FFT both, accumulate
+// conj(DY)·X into dW spectra, and at the end inverse-transform and crop
+// the R x R gradient.
+func (h *Handle) bwdFilterFFT(x uint64, xd TensorDesc, dy uint64, yd TensorDesc, cd ConvDesc, dw uint64, fd FilterDesc, tiling bool) error {
+	if cd.Stride != 1 {
+		return ErrNotSupported{Reason: "FFT backward filter requires stride 1"}
+	}
+	var n, step, ntx, nty int
+	if tiling {
+		n = 32
+		if fd.R >= n {
+			return ErrNotSupported{Reason: "filter too large for 32x32 tiles"}
+		}
+		step = n - fd.R + 1
+		ntx = (yd.W + step - 1) / step
+		nty = (yd.H + step - 1) / step
+	} else {
+		need := maxInt(xd.H, xd.W) + 2*cd.Pad
+		var err error
+		n, err = pickFFTSize(need)
+		if err != nil {
+			return err
+		}
+		step = n
+		ntx, nty = 1, 1
+	}
+	nt := ntx * nty
+	nn := n * n
+	r2c, c2r := fftKernelNames(n)
+
+	xTiles, relXT, err := h.workspace(uint64(4 * xd.C * nt * nn))
+	if err != nil {
+		return err
+	}
+	defer relXT()
+	dyTiles, relDT, err := h.workspace(uint64(4 * fd.K * nt * nn))
+	if err != nil {
+		return err
+	}
+	defer relDT()
+	xSpec, relXS, err := h.workspace(uint64(8 * xd.C * nt * nn))
+	if err != nil {
+		return err
+	}
+	defer relXS()
+	dySpec, relDS, err := h.workspace(uint64(8 * fd.K * nt * nn))
+	if err != nil {
+		return err
+	}
+	defer relDS()
+	dwSpec, relWS, err := h.workspace(uint64(8 * fd.K * fd.C * nn))
+	if err != nil {
+		return err
+	}
+	defer relWS()
+	dwFull, relWF, err := h.workspace(uint64(4 * fd.K * fd.C * nn))
+	if err != nil {
+		return err
+	}
+	defer relWF()
+
+	if err := h.zero(dwSpec, 2*fd.K*fd.C*nn); err != nil {
+		return err
+	}
+	dyWin := step
+	if !tiling {
+		dyWin = n
+	}
+	for img := 0; img < xd.N; img++ {
+		xOff := x + uint64(4*img*xd.C*xd.H*xd.W)
+		p := cudart.NewParams().Ptr(xOff).Ptr(xTiles).
+			U32(uint32(xd.C)).U32(uint32(xd.H)).U32(uint32(xd.W)).
+			U32(uint32(n)).U32(uint32(ntx)).U32(uint32(nty)).
+			U32(uint32(step)).U32(uint32(cd.Pad)).U32(uint32(n))
+		if err := h.launch2D("fft_tile_extract", nn, 256, xd.C*nt, p); err != nil {
+			return err
+		}
+		dyOff := dy + uint64(4*img*fd.K*yd.H*yd.W)
+		p = cudart.NewParams().Ptr(dyOff).Ptr(dyTiles).
+			U32(uint32(fd.K)).U32(uint32(yd.H)).U32(uint32(yd.W)).
+			U32(uint32(n)).U32(uint32(ntx)).U32(uint32(nty)).
+			U32(uint32(step)).U32(0).U32(uint32(dyWin))
+		if err := h.launch2D("fft_tile_extract", nn, 256, fd.K*nt, p); err != nil {
+			return err
+		}
+		if _, err := h.ctx.Launch(r2c, exec.Dim3{X: xd.C * nt}, exec.Dim3{X: n}, cudart.NewParams().Ptr(xTiles).Ptr(xSpec), 0); err != nil {
+			return err
+		}
+		if _, err := h.ctx.Launch(r2c, exec.Dim3{X: fd.K * nt}, exec.Dim3{X: n}, cudart.NewParams().Ptr(dyTiles).Ptr(dySpec), 0); err != nil {
+			return err
+		}
+		cg := cudart.NewParams().Ptr(xSpec).Ptr(dySpec).Ptr(dwSpec).
+			U32(uint32(fd.C)).U32(uint32(fd.K)).U32(uint32(nn)).U32(uint32(nt))
+		if err := h.launch1D("cgemm_bwd_filter", fd.K*fd.C*nn, 256, cg); err != nil {
+			return err
+		}
+	}
+	if _, err := h.ctx.Launch(c2r, exec.Dim3{X: fd.K * fd.C}, exec.Dim3{X: n},
+		cudart.NewParams().Ptr(dwSpec).Ptr(dwFull).F32(1/float32(nn)), 0); err != nil {
+		return err
+	}
+	cropPad := 0
+	if !tiling {
+		cropPad = 0
+	}
+	cp := cudart.NewParams().Ptr(dwFull).Ptr(dw).
+		U32(uint32(n)).U32(uint32(fd.R)).U32(uint32(fd.S)).U32(uint32(cropPad))
+	return h.launch2D("fft_crop", fd.R*fd.S, 64, fd.K*fd.C, cp)
+}

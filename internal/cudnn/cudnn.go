@@ -1,0 +1,296 @@
+// Package cudnn is the cuDNN-analog deep-learning primitive library of
+// this reproduction. Like the real library, it is a host-side layer that
+// launches precompiled PTX kernels (internal/kernels) through the CUDA
+// runtime (internal/cudart): every high-level API call typically launches
+// several kernels, which is exactly the structure the paper's debugging
+// methodology (§III-D) has to cope with.
+package cudnn
+
+import (
+	"fmt"
+
+	"repro/internal/cudart"
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/kernels"
+)
+
+// TensorDesc describes an NCHW float32 tensor.
+type TensorDesc struct{ N, C, H, W int }
+
+// Count returns the element count.
+func (d TensorDesc) Count() int { return d.N * d.C * d.H * d.W }
+
+// FilterDesc describes a KCRS filter bank (square windows, R == S).
+type FilterDesc struct{ K, C, R, S int }
+
+// Count returns the element count.
+func (d FilterDesc) Count() int { return d.K * d.C * d.R * d.S }
+
+// ConvDesc describes a square convolution.
+type ConvDesc struct {
+	Pad    int
+	Stride int
+}
+
+// OutDim returns the output spatial edge for input edge h, filter edge r.
+func (cd ConvDesc) OutDim(h, r int) int { return (h+2*cd.Pad-r)/cd.Stride + 1 }
+
+// PoolDesc describes square max pooling.
+type PoolDesc struct {
+	Window int
+	Stride int
+}
+
+// LRNDesc describes cross-channel local response normalisation.
+type LRNDesc struct {
+	N     int // window
+	K     float32
+	Alpha float32
+	Beta  float32
+}
+
+// Conv algorithm enums mirror the cuDNN names the paper sweeps in §V-A.
+type (
+	// ConvFwdAlgo selects the forward convolution algorithm.
+	ConvFwdAlgo int
+	// ConvBwdDataAlgo selects the backward-data algorithm.
+	ConvBwdDataAlgo int
+	// ConvBwdFilterAlgo selects the backward-filter algorithm.
+	ConvBwdFilterAlgo int
+)
+
+// Forward algorithms (paper §V-A list).
+const (
+	FwdAlgoImplicitGemm ConvFwdAlgo = iota
+	FwdAlgoGemm
+	FwdAlgoFFT
+	FwdAlgoFFTTiling
+	FwdAlgoWinograd
+	FwdAlgoWinogradNonfused
+)
+
+// Backward-data algorithms.
+const (
+	BwdDataAlgo0 ConvBwdDataAlgo = iota
+	BwdDataAlgo1
+	BwdDataFFTTiling
+	BwdDataWinograd
+	BwdDataWinogradNonfused
+)
+
+// Backward-filter algorithms.
+const (
+	BwdFilterAlgo0 ConvBwdFilterAlgo = iota
+	BwdFilterAlgo1
+	BwdFilterAlgo3
+	BwdFilterFFT
+	BwdFilterFFTTiling
+	BwdFilterWinogradNonfused
+)
+
+func (a ConvFwdAlgo) String() string {
+	return [...]string{"implicit_gemm", "gemm", "fft", "fft_tiling", "winograd", "winograd_nonfused"}[a]
+}
+
+func (a ConvBwdDataAlgo) String() string {
+	return [...]string{"algo0", "algo1", "fft_tiling", "winograd", "winograd_nonfused"}[a]
+}
+
+func (a ConvBwdFilterAlgo) String() string {
+	return [...]string{"algo0", "algo1", "algo3", "fft", "fft_tiling", "winograd_nonfused"}[a]
+}
+
+// ErrNotSupported mirrors CUDNN_STATUS_NOT_SUPPORTED.
+type ErrNotSupported struct{ Reason string }
+
+func (e ErrNotSupported) Error() string { return "cudnn: not supported: " + e.Reason }
+
+// Handle is a cuDNN handle bound to a runtime context. Creating a handle
+// registers the library's PTX modules — the analog of statically linking
+// libcudnn into the application (§III-A fix 1), with each embedded PTX
+// translation unit parsed separately (fix 2).
+type Handle struct {
+	ctx *cudart.Context
+}
+
+// Create registers the kernel library with the context and returns a
+// handle.
+func Create(ctx *cudart.Context) (*Handle, error) {
+	for i, src := range kernels.AllModules() {
+		if _, err := ctx.RegisterModule(src); err != nil {
+			return nil, fmt.Errorf("cudnn: registering library module %d: %w", i, err)
+		}
+	}
+	return &Handle{ctx: ctx}, nil
+}
+
+// Context returns the underlying runtime context.
+func (h *Handle) Context() *cudart.Context { return h.ctx }
+
+// launch1D launches a kernel over n elements with the given block size.
+func (h *Handle) launch1D(name string, n, block int, p *cudart.Params) error {
+	if n == 0 {
+		return nil
+	}
+	_, err := h.ctx.Launch(name, exec.Dim3{X: (n + block - 1) / block}, exec.Dim3{X: block}, p, 0)
+	return err
+}
+
+// launch2D launches with an explicit grid.y (plane/image dimension).
+func (h *Handle) launch2D(name string, n, block, gy int, p *cudart.Params) error {
+	if n == 0 || gy == 0 {
+		return nil
+	}
+	g := exec.Dim3{X: (n + block - 1) / block, Y: gy}
+	_, err := h.ctx.Launch(name, g, exec.Dim3{X: block}, p, 0)
+	return err
+}
+
+// zero fills a float32 device range using the fill_zero kernel.
+func (h *Handle) zero(addr uint64, n int) error {
+	return h.launch1D("fill_zero", n, 256, cudart.NewParams().Ptr(addr).U32(uint32(n)))
+}
+
+// workspace allocates scratch device memory released by the returned func.
+func (h *Handle) workspace(bytes uint64) (uint64, func(), error) {
+	addr, err := h.ctx.Malloc(bytes)
+	if err != nil {
+		return 0, nil, err
+	}
+	return addr, func() { _ = h.ctx.Free(addr) }, nil
+}
+
+// AddTensor adds a per-channel bias to an NCHW tensor (cudnnAddTensor).
+func (h *Handle) AddTensor(bias uint64, y uint64, yd TensorDesc) error {
+	h.ctx.SetAPITag("cudnnAddTensor")
+	n := yd.Count()
+	p := cudart.NewParams().Ptr(y).Ptr(bias).U32(uint32(n)).U32(uint32(yd.C)).U32(uint32(yd.H * yd.W))
+	return h.launch1D("add_bias", n, 256, p)
+}
+
+// ActivationForward applies ReLU (cudnnActivationForward).
+func (h *Handle) ActivationForward(x, y uint64, n int) error {
+	h.ctx.SetAPITag("cudnnActivationForward")
+	return h.launch1D("relu_forward", n, 256, cudart.NewParams().Ptr(x).Ptr(y).U32(uint32(n)))
+}
+
+// ActivationBackward computes the ReLU input gradient.
+func (h *Handle) ActivationBackward(dy, x, dx uint64, n int) error {
+	h.ctx.SetAPITag("cudnnActivationBackward")
+	return h.launch1D("relu_backward", n, 256,
+		cudart.NewParams().Ptr(dy).Ptr(x).Ptr(dx).U32(uint32(n)))
+}
+
+// PoolingForward runs max pooling; idx receives argmax indices (u32),
+// sized like the output.
+func (h *Handle) PoolingForward(pd PoolDesc, x uint64, xd TensorDesc, y, idx uint64) (TensorDesc, error) {
+	h.ctx.SetAPITag("cudnnPoolingForward")
+	oh := (xd.H-pd.Window)/pd.Stride + 1
+	ow := (xd.W-pd.Window)/pd.Stride + 1
+	yd := TensorDesc{N: xd.N, C: xd.C, H: oh, W: ow}
+	per := yd.C * yd.H * yd.W
+	p := cudart.NewParams().Ptr(x).Ptr(y).Ptr(idx).
+		U32(uint32(xd.C)).U32(uint32(xd.H)).U32(uint32(xd.W)).
+		U32(uint32(pd.Window)).U32(uint32(pd.Stride)).
+		U32(uint32(oh)).U32(uint32(ow))
+	return yd, h.launch2D("maxpool_forward", per, 256, xd.N, p)
+}
+
+// PoolingBackward scatters dy through the recorded argmax indices.
+func (h *Handle) PoolingBackward(dy, idx, dx uint64, yd TensorDesc, xCount int) error {
+	h.ctx.SetAPITag("cudnnPoolingBackward")
+	if err := h.zero(dx, xCount); err != nil {
+		return err
+	}
+	n := yd.Count()
+	return h.launch1D("maxpool_backward", n, 256,
+		cudart.NewParams().Ptr(dy).Ptr(idx).Ptr(dx).U32(uint32(n)))
+}
+
+// LRNCrossChannelForward runs the texture-based LRN kernel per image. The
+// input is rebound to the lrn_tex texture reference for every image —
+// this is the rebinding pattern whose handling the paper fixed (§III-C).
+func (h *Handle) LRNCrossChannelForward(ld LRNDesc, x uint64, xd TensorDesc, y uint64) error {
+	h.ctx.SetAPITag("cudnnLRNCrossChannelForward")
+	hw := xd.H * xd.W
+	per := xd.C * hw
+	ref, err := h.ctx.TexRefByName(kernels.LRNTexName)
+	if err != nil {
+		return err
+	}
+	for n := 0; n < xd.N; n++ {
+		arr := device.NewCudaArray(per, 1, 1)
+		h.ctx.MemcpyToArrayFromDevice(arr, x+uint64(4*n*per), per)
+		if err := h.ctx.BindTextureToArray(ref, arr); err != nil {
+			return err
+		}
+		p := cudart.NewParams().Ptr(y + uint64(4*n*per)).
+			U32(uint32(xd.C)).U32(uint32(hw)).U32(uint32(ld.N)).
+			F32(ld.K).F32(ld.Alpha).F32(ld.Beta)
+		if err := h.launch1D("lrn_forward", per, 256, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LRNCrossChannelBackward computes the LRN input gradient.
+func (h *Handle) LRNCrossChannelBackward(ld LRNDesc, x, y, dy, dx uint64, xd TensorDesc) error {
+	h.ctx.SetAPITag("cudnnLRNCrossChannelBackward")
+	hw := xd.H * xd.W
+	per := xd.C * hw
+	for n := 0; n < xd.N; n++ {
+		off := uint64(4 * n * per)
+		p := cudart.NewParams().Ptr(x + off).Ptr(y + off).Ptr(dy + off).Ptr(dx + off).
+			U32(uint32(xd.C)).U32(uint32(hw)).U32(uint32(ld.N)).
+			F32(ld.K).F32(ld.Alpha).F32(ld.Beta)
+		if err := h.launch1D("lrn_backward", per, 256, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SoftmaxForward computes row-wise softmax (rows = n, cols = c).
+func (h *Handle) SoftmaxForward(x, y uint64, rows, cols int) error {
+	h.ctx.SetAPITag("cudnnSoftmaxForward")
+	_, err := h.ctx.Launch("softmax_forward",
+		exec.Dim3{X: rows}, exec.Dim3{X: 32},
+		cudart.NewParams().Ptr(x).Ptr(y).U32(uint32(cols)), 0)
+	return err
+}
+
+// SoftmaxNLLBackward computes (softmax - onehot)/batch.
+func (h *Handle) SoftmaxNLLBackward(y, labels, dx uint64, rows, cols int) error {
+	h.ctx.SetAPITag("cudnnSoftmaxBackward")
+	n := rows * cols
+	return h.launch1D("softmax_nll_backward", n, 256,
+		cudart.NewParams().Ptr(y).Ptr(labels).Ptr(dx).U32(uint32(cols)).U32(uint32(rows)))
+}
+
+// GemvT computes y = alpha Aᵀx + beta y (the GEMV2T FC-layer kernel).
+func (h *Handle) GemvT(a, x, y uint64, rows, cols int, alpha, beta float32) error {
+	h.ctx.SetAPITag("cublasSgemv")
+	return h.launch1D("gemv2t", cols, 128,
+		cudart.NewParams().Ptr(a).Ptr(x).Ptr(y).
+			U32(uint32(rows)).U32(uint32(cols)).F32(alpha).F32(beta))
+}
+
+// Gemm computes C = alpha A B + beta C via the tiled SGEMM kernel.
+func (h *Handle) Gemm(a, bm, cm uint64, m, n, k int, alpha, beta float32) error {
+	h.ctx.SetAPITag("cublasSgemm")
+	p := cudart.NewParams().Ptr(a).Ptr(bm).Ptr(cm).
+		U32(uint32(m)).U32(uint32(n)).U32(uint32(k)).
+		U32(0).U32(0).U32(0).F32(alpha).F32(beta)
+	g := exec.Dim3{X: (n + 15) / 16, Y: (m + 15) / 16, Z: 1}
+	_, err := h.ctx.Launch("sgemm_tiled", g, exec.Dim3{X: 16, Y: 16}, p, 0)
+	return err
+}
+
+// SGDUpdate applies w -= lr*g.
+func (h *Handle) SGDUpdate(w, g uint64, n int, lr float32) error {
+	h.ctx.SetAPITag("sgdUpdate")
+	return h.launch1D("sgd_update", n, 256,
+		cudart.NewParams().Ptr(w).Ptr(g).U32(uint32(n)).F32(lr))
+}

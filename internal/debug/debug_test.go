@@ -1,0 +1,187 @@
+package debug_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cudart"
+	"repro/internal/cudnn"
+	"repro/internal/debug"
+	"repro/internal/exec"
+	"repro/internal/ptx"
+)
+
+// convWorkload reproduces the paper's failing scenario: an FFT-algorithm
+// cudnnConvolutionForward call (a multi-kernel library call).
+func convWorkload(ctx *cudart.Context) error {
+	h, err := cudnn.Create(ctx)
+	if err != nil {
+		return err
+	}
+	xd := cudnn.TensorDesc{N: 1, C: 2, H: 12, W: 12}
+	fd := cudnn.FilterDesc{K: 3, C: 2, R: 5, S: 5}
+	cd := cudnn.ConvDesc{Pad: 0, Stride: 1}
+	x := make([]float32, xd.Count())
+	for i := range x {
+		x[i] = float32(i%17)*0.125 - 1
+	}
+	w := make([]float32, fd.Count())
+	for i := range w {
+		w[i] = float32(i%11)*0.25 - 1.25
+	}
+	px, err := ctx.Malloc(uint64(4 * len(x)))
+	if err != nil {
+		return err
+	}
+	ctx.MemcpyF32HtoD(px, x)
+	pw, err := ctx.Malloc(uint64(4 * len(w)))
+	if err != nil {
+		return err
+	}
+	ctx.MemcpyF32HtoD(pw, w)
+	py, err := ctx.Malloc(uint64(4 * 3 * 8 * 8))
+	if err != nil {
+		return err
+	}
+	_, err = h.ConvolutionForward(cudnn.FwdAlgoFFT, px, xd, pw, fd, cd, py)
+	return err
+}
+
+// regressionWorkload is a known-good mini suite that does NOT execute
+// rem, brev or tex — the differential-coverage baseline.
+func regressionWorkload(ctx *cudart.Context) error {
+	h, err := cudnn.Create(ctx)
+	if err != nil {
+		return err
+	}
+	px, err := ctx.Malloc(4 * 256)
+	if err != nil {
+		return err
+	}
+	py, err := ctx.Malloc(4 * 256)
+	if err != nil {
+		return err
+	}
+	if err := h.ActivationForward(px, py, 256); err != nil {
+		return err
+	}
+	return h.Gemm(px, py, px, 8, 8, 8, 1, 0)
+}
+
+// TestDebugFindsRemBug is the paper's §III-D episode end to end: a faulty
+// rem implementation is injected; the tool must (1) flag rem as a
+// suspicious differential-coverage path, (2) bisect to the first kernel
+// inside cudnnConvolutionForward whose outputs diverge, and (3) identify
+// a rem instruction as the first incorrectly executing instruction.
+func TestDebugFindsRemBug(t *testing.T) {
+	tool := &debug.Tool{
+		Workload:   convWorkload,
+		Regression: regressionWorkload,
+		Bugs:       exec.BugSet{BreakOp: ptx.OpRem},
+	}
+	rep, err := tool.Run()
+	if err != nil {
+		t.Fatalf("tool: %v", err)
+	}
+	// step 1: rem must be among the suspicious paths
+	foundRem := false
+	for _, k := range rep.SuspiciousPaths {
+		if k.Op == ptx.OpRem {
+			foundRem = true
+		}
+	}
+	if !foundRem {
+		t.Errorf("differential coverage did not flag rem; paths: %v", rep.SuspiciousPaths)
+	}
+	// step 2: the bad launch must be inside the convolution API call
+	if rep.BadLaunch < 0 {
+		t.Fatal("no bad launch found")
+	}
+	if rep.BadAPI != "cudnnConvolutionForward" {
+		t.Errorf("bad API = %q, want cudnnConvolutionForward", rep.BadAPI)
+	}
+	// step 3: the first faulty instruction must be a rem
+	if rep.BadPC < 0 {
+		t.Fatal("no faulty instruction found")
+	}
+	if !strings.HasPrefix(rep.BadInstr, "rem") {
+		t.Errorf("first faulty instruction = %q (kernel %s pc %d), want a rem",
+			rep.BadInstr, rep.BadKernel, rep.BadPC)
+	}
+	if rep.GoldenVal == rep.BuggyVal {
+		t.Error("reported divergent values are equal")
+	}
+	t.Logf("debug flow: API=%s launch=%d kernel=%s pc=%d instr=%q golden=%#x buggy=%#x",
+		rep.BadAPI, rep.BadLaunch, rep.BadKernel, rep.BadPC, rep.BadInstr, rep.GoldenVal, rep.BuggyVal)
+}
+
+// TestDebugNoBugNoFinding: with no injected bug the tool reports nothing.
+func TestDebugNoBugNoFinding(t *testing.T) {
+	tool := &debug.Tool{Workload: convWorkload, Bugs: exec.BugSet{}}
+	rep, err := tool.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BadLaunch >= 0 {
+		t.Fatalf("clean run flagged launch %d (%s)", rep.BadLaunch, rep.BadKernel)
+	}
+}
+
+// TestDebugLocalisesArbitraryOpcodeBug is the property the methodology
+// promises: for an arbitrary faulty opcode implementation, the tool finds
+// a first-faulty instruction with exactly that opcode. The candidate set
+// excludes the opcodes the instrumentation pass itself relies on
+// (mov/mad/mul/add/setp/st/cvta): like the paper's tool, the logging code
+// runs on the same buggy simulator, so a bug in those would corrupt the
+// log bookkeeping itself.
+func TestDebugLocalisesArbitraryOpcodeBug(t *testing.T) {
+	ops := []ptx.Op{ptx.OpRem, ptx.OpDiv, ptx.OpBrev, ptx.OpShr, ptx.OpFma, ptx.OpSelp}
+	f := func(pick uint8) bool {
+		op := ops[int(pick)%len(ops)]
+		tool := &debug.Tool{Workload: convWorkload, Bugs: exec.BugSet{BreakOp: op}}
+		rep, err := tool.Run()
+		if err != nil {
+			t.Logf("op %v: %v", op, err)
+			return false
+		}
+		if rep.BadLaunch < 0 || rep.BadPC < 0 {
+			t.Logf("op %v: not localised: %+v", op, rep)
+			return false
+		}
+		return strings.HasPrefix(rep.BadInstr, op.String())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInstrumentedKernelRoundTrip verifies the instrumentation pass emits
+// parseable PTX whose uninstrumented semantics are unchanged.
+func TestInstrumentedKernelRoundTrip(t *testing.T) {
+	ctx := cudart.NewContext(exec.BugSet{})
+	h, err := cudnn.Create(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = h
+	_, k, err := ctx.LookupKernel("fft2d_r2c_16x16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := debug.InstrumentKernel(k, 64)
+	m, err := ptx.Parse(text)
+	if err != nil {
+		t.Fatalf("instrumented PTX does not parse: %v", err)
+	}
+	ik := m.Kernels["fft2d_r2c_16x16"]
+	if ik == nil {
+		t.Fatal("instrumented kernel missing")
+	}
+	if len(ik.Instrs) <= len(k.Instrs) {
+		t.Fatalf("instrumentation added no instructions: %d vs %d", len(ik.Instrs), len(k.Instrs))
+	}
+	if ik.ParamBytes() != k.ParamBytes()+8 {
+		t.Fatalf("instrumented params = %d bytes, want %d", ik.ParamBytes(), k.ParamBytes()+8)
+	}
+}

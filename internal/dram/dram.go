@@ -1,0 +1,248 @@
+// Package dram models GDDR-style DRAM channels with row-buffer banks and
+// open-page scheduling, and collects the per-bank efficiency/utilization
+// time series that AerialVision plots in the paper's Figs. 9-14 ("DRAM
+// efficiency and utilization ... as a sequence of DRAM banks"), including
+// the *bank camping* pathology (§V-B) where serialized accesses pile onto
+// one bank while others sit idle.
+package dram
+
+// Config describes one DRAM channel (memory partition).
+type Config struct {
+	NumBanks   int
+	RowBytes   int // row-buffer size
+	TRCD       int // activate-to-read
+	TRP        int // precharge
+	TCL        int // CAS latency
+	TBurst     int // data-transfer cycles per access
+	QueueDepth int
+}
+
+// DefaultConfig mirrors GDDR5-ish timings at core clock.
+func DefaultConfig() Config {
+	return Config{
+		NumBanks: 8, RowBytes: 2048,
+		TRCD: 12, TRP: 12, TCL: 12, TBurst: 4,
+		QueueDepth: 32,
+	}
+}
+
+// BankStats accumulates one bank's counters, bucketed per sample interval
+// for the AerialVision-style plots.
+type BankStats struct {
+	BusyCycles    uint64 // data-transfer (useful) cycles
+	PendingCycles uint64 // cycles with at least one request outstanding
+	Activates     uint64
+	Reads         uint64
+	Writes        uint64
+	RowHits       uint64
+}
+
+// Channel is one DRAM channel with per-bank state.
+type Channel struct {
+	cfg       Config
+	bankReady []uint64 // cycle when bank can accept the next command
+	openRow   []int64  // -1 = closed
+	lastEnd   []uint64 // completion time of last request per bank (pending tracking)
+	busReady  uint64   // shared data bus availability
+
+	Banks []BankStats
+
+	// sampling
+	interval   uint64
+	busySeries [][]uint64 // [bank][bucket] busy cycles
+	pendSeries [][]uint64
+	cmdSeries  [][]uint64 // read+write commands per bucket
+}
+
+// NewChannel builds a channel with the given sample interval (cycles per
+// AerialVision bucket; 0 disables the time series).
+func NewChannel(cfg Config, sampleInterval uint64) *Channel {
+	ch := &Channel{
+		cfg:       cfg,
+		bankReady: make([]uint64, cfg.NumBanks),
+		openRow:   make([]int64, cfg.NumBanks),
+		lastEnd:   make([]uint64, cfg.NumBanks),
+		Banks:     make([]BankStats, cfg.NumBanks),
+		interval:  sampleInterval,
+	}
+	for i := range ch.openRow {
+		ch.openRow[i] = -1
+	}
+	if sampleInterval > 0 {
+		ch.busySeries = make([][]uint64, cfg.NumBanks)
+		ch.pendSeries = make([][]uint64, cfg.NumBanks)
+		ch.cmdSeries = make([][]uint64, cfg.NumBanks)
+	}
+	return ch
+}
+
+// BankOf maps a channel-local address to a bank (bank bits above the
+// burst offset so consecutive 256B chunks interleave across banks).
+func (ch *Channel) BankOf(addr uint64) int {
+	return int(addr / 256 % uint64(ch.cfg.NumBanks))
+}
+
+func (ch *Channel) rowOf(addr uint64) int64 {
+	return int64(addr / 256 / uint64(ch.cfg.NumBanks) / uint64(ch.cfg.RowBytes/256))
+}
+
+func addToBucket(series *[][]uint64, bank int, idx uint64, v uint64) {
+	s := (*series)[bank]
+	for uint64(len(s)) <= idx {
+		s = append(s, 0)
+	}
+	s[idx] += v
+	(*series)[bank] = s
+}
+
+// Service schedules one request arriving at cycle `now` and returns its
+// completion cycle. Open-page policy: row hits skip ACT/PRE; the shared
+// data bus serialises bursts.
+func (ch *Channel) Service(now uint64, addr uint64, write bool) uint64 {
+	bank := ch.BankOf(addr)
+	row := ch.rowOf(addr)
+	start := now
+	if ch.bankReady[bank] > start {
+		start = ch.bankReady[bank]
+	}
+	cmd := uint64(0)
+	st := &ch.Banks[bank]
+	if ch.openRow[bank] == row {
+		st.RowHits++
+		cmd = uint64(ch.cfg.TCL)
+	} else {
+		if ch.openRow[bank] >= 0 {
+			cmd += uint64(ch.cfg.TRP)
+		}
+		cmd += uint64(ch.cfg.TRCD + ch.cfg.TCL)
+		ch.openRow[bank] = row
+		st.Activates++
+	}
+	dataStart := start + cmd
+	if ch.busReady > dataStart {
+		dataStart = ch.busReady
+	}
+	end := dataStart + uint64(ch.cfg.TBurst)
+	ch.busReady = end
+	ch.bankReady[bank] = end
+	if write {
+		st.Writes++
+	} else {
+		st.Reads++
+	}
+	st.BusyCycles += uint64(ch.cfg.TBurst)
+	// pending window: arrival -> completion
+	if end > now {
+		st.PendingCycles += end - now
+	}
+	ch.lastEnd[bank] = end
+
+	if ch.interval > 0 {
+		// burst cycles to the bucket containing dataStart
+		addToBucket(&ch.busySeries, bank, dataStart/ch.interval, uint64(ch.cfg.TBurst))
+		addToBucket(&ch.cmdSeries, bank, start/ch.interval, 1)
+		for b := now / ch.interval; b <= end/ch.interval; b++ {
+			span := ch.interval
+			if b == now/ch.interval {
+				span = ch.interval - now%ch.interval
+			}
+			if b == end/ch.interval {
+				e := end % ch.interval
+				if b == now/ch.interval {
+					span = end - now
+				} else {
+					span = e
+				}
+			}
+			addToBucket(&ch.pendSeries, bank, b, span)
+		}
+	}
+	return end
+}
+
+// NumBanks returns the bank count.
+func (ch *Channel) NumBanks() int { return ch.cfg.NumBanks }
+
+// BurstCycles returns the data-transfer cycles per access.
+func (ch *Channel) BurstCycles() int { return ch.cfg.TBurst }
+
+// EfficiencySeries returns per-bank per-bucket efficiency in [0,1]: the
+// paper's definition — bandwidth utilization when there is a pending
+// request waiting to be processed.
+func (ch *Channel) EfficiencySeries() [][]float64 {
+	out := make([][]float64, ch.cfg.NumBanks)
+	for b := 0; b < ch.cfg.NumBanks; b++ {
+		busy := ch.busySeries[b]
+		pend := ch.pendSeries[b]
+		n := len(pend)
+		if len(busy) > n {
+			n = len(busy)
+		}
+		s := make([]float64, n)
+		for i := 0; i < n; i++ {
+			var bu, pe uint64
+			if i < len(busy) {
+				bu = busy[i]
+			}
+			if i < len(pend) {
+				pe = pend[i]
+			}
+			if pe > 0 {
+				v := float64(bu) / float64(pe)
+				if v > 1 {
+					v = 1
+				}
+				s[i] = v
+			}
+		}
+		out[b] = s
+	}
+	return out
+}
+
+// UtilizationSeries returns per-bank per-bucket utilization: per the
+// paper, two times the number of read and write commands per command
+// cycle (normalised to the bucket width).
+func (ch *Channel) UtilizationSeries() [][]float64 {
+	out := make([][]float64, ch.cfg.NumBanks)
+	for b := 0; b < ch.cfg.NumBanks; b++ {
+		cmds := ch.cmdSeries[b]
+		s := make([]float64, len(cmds))
+		for i, c := range cmds {
+			v := 2 * float64(c) * float64(ch.cfg.TBurst) / float64(ch.interval)
+			if v > 1 {
+				v = 1
+			}
+			s[i] = v
+		}
+		out[b] = s
+	}
+	return out
+}
+
+// Totals returns aggregate reads, writes, activates, busy cycles.
+func (ch *Channel) Totals() (reads, writes, acts, busy uint64) {
+	for i := range ch.Banks {
+		reads += ch.Banks[i].Reads
+		writes += ch.Banks[i].Writes
+		acts += ch.Banks[i].Activates
+		busy += ch.Banks[i].BusyCycles
+	}
+	return
+}
+
+// Reset clears state and statistics.
+func (ch *Channel) Reset() {
+	for i := range ch.bankReady {
+		ch.bankReady[i] = 0
+		ch.openRow[i] = -1
+		ch.lastEnd[i] = 0
+		ch.Banks[i] = BankStats{}
+	}
+	ch.busReady = 0
+	if ch.interval > 0 {
+		ch.busySeries = make([][]uint64, ch.cfg.NumBanks)
+		ch.pendSeries = make([][]uint64, ch.cfg.NumBanks)
+		ch.cmdSeries = make([][]uint64, ch.cfg.NumBanks)
+	}
+}

@@ -1,0 +1,120 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRowHitFasterThanRowMiss(t *testing.T) {
+	ch := NewChannel(DefaultConfig(), 0)
+	// first access opens the row
+	e1 := ch.Service(0, 0x0, false)
+	// same row: CAS only
+	e2 := ch.Service(e1, 0x40, false)
+	// different row, same bank: precharge + activate + CAS
+	cfg := DefaultConfig()
+	far := uint64(cfg.RowBytes) * uint64(cfg.NumBanks) * 256
+	e3 := ch.Service(e2, far, false)
+	hitLat := e2 - e1
+	missLat := e3 - e2
+	if hitLat >= missLat {
+		t.Fatalf("row hit (%d) not faster than row miss (%d)", hitLat, missLat)
+	}
+	r, _, acts, _ := ch.Totals()
+	if r != 3 || acts != 2 {
+		t.Fatalf("reads=%d acts=%d, want 3 reads 2 activates", r, acts)
+	}
+}
+
+func TestBankParallelismBeatsBankCamping(t *testing.T) {
+	// The paper's §V-B phenomenon: requests hammering one bank serialise;
+	// spread across banks they overlap.
+	camped := NewChannel(DefaultConfig(), 0)
+	var endCamped uint64
+	for i := 0; i < 8; i++ {
+		// same bank, different rows -> worst case
+		addr := uint64(i) * uint64(DefaultConfig().RowBytes) * uint64(DefaultConfig().NumBanks) * 256
+		endCamped = camped.Service(0, addr, false)
+	}
+	spread := NewChannel(DefaultConfig(), 0)
+	var endSpread uint64
+	for i := 0; i < 8; i++ {
+		addr := uint64(i) * 256 // consecutive banks
+		e := spread.Service(0, addr, false)
+		if e > endSpread {
+			endSpread = e
+		}
+	}
+	if endSpread >= endCamped {
+		t.Fatalf("bank-parallel completion %d not faster than camped %d", endSpread, endCamped)
+	}
+}
+
+func TestEfficiencyAndUtilizationSeries(t *testing.T) {
+	ch := NewChannel(DefaultConfig(), 100)
+	for i := 0; i < 32; i++ {
+		ch.Service(uint64(i*10), uint64(i)*256, i%4 == 0)
+	}
+	eff := ch.EfficiencySeries()
+	util := ch.UtilizationSeries()
+	if len(eff) != ch.NumBanks() || len(util) != ch.NumBanks() {
+		t.Fatalf("series bank counts: %d/%d", len(eff), len(util))
+	}
+	var any float64
+	for b := range eff {
+		for _, v := range eff[b] {
+			if v < 0 || v > 1 {
+				t.Fatalf("efficiency %v out of range", v)
+			}
+			any += v
+		}
+		for _, v := range util[b] {
+			if v < 0 || v > 1 {
+				t.Fatalf("utilization %v out of range", v)
+			}
+		}
+	}
+	if any == 0 {
+		t.Fatal("efficiency series empty despite traffic")
+	}
+}
+
+// Property: completion times never precede arrival, and the data bus
+// never double-books (monotone completion per issue order on one bank).
+func TestServiceOrderingProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		ch := NewChannel(DefaultConfig(), 0)
+		now := uint64(0)
+		lastEnd := map[int]uint64{}
+		for _, a := range addrs {
+			addr := uint64(a) * 64
+			end := ch.Service(now, addr, false)
+			if end <= now {
+				return false
+			}
+			b := ch.BankOf(addr)
+			if end < lastEnd[b] {
+				return false // per-bank completions must be monotone
+			}
+			lastEnd[b] = end
+			now += 2
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	ch := NewChannel(DefaultConfig(), 50)
+	ch.Service(0, 0, false)
+	ch.Reset()
+	r, w, a, b := ch.Totals()
+	if r+w+a+b != 0 {
+		t.Fatal("totals not cleared")
+	}
+	if len(ch.EfficiencySeries()[0]) != 0 {
+		t.Fatal("series not cleared")
+	}
+}

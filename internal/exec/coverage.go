@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/ptx"
+)
+
+// CovKey identifies one instruction-implementation path: opcode plus type
+// specifier. The paper's "differential coverage analysis" (§III-D) compares
+// which implementation paths a failing workload exercises that the passing
+// regression suite does not; opcode+type granularity is exactly the level
+// at which GPGPU-Sim's rem and bfe bugs hid (wrong only for some types).
+type CovKey struct {
+	Op ptx.Op
+	T  ptx.Type
+}
+
+// Coverage counts executed instructions per implementation path.
+type Coverage struct {
+	counts map[CovKey]uint64
+}
+
+// NewCoverage returns empty coverage.
+func NewCoverage() *Coverage {
+	return &Coverage{counts: make(map[CovKey]uint64)}
+}
+
+// Note records one executed warp instruction.
+func (c *Coverage) Note(in *ptx.Instr, mask uint32) {
+	c.counts[CovKey{Op: in.Op, T: in.T}]++
+}
+
+// Count returns the execution count of one path.
+func (c *Coverage) Count(k CovKey) uint64 { return c.counts[k] }
+
+// Total returns the total executed warp-instruction count.
+func (c *Coverage) Total() uint64 {
+	var t uint64
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}
+
+// Keys returns all exercised paths, deterministically ordered.
+func (c *Coverage) Keys() []CovKey {
+	out := make([]CovKey, 0, len(c.counts))
+	for k := range c.counts {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].T < out[j].T
+	})
+	return out
+}
+
+// Diff returns the paths exercised by c but not by base: the differential
+// coverage the paper used to localise suspicious instruction
+// implementations before falling back to instruction-level comparison.
+func (c *Coverage) Diff(base *Coverage) []CovKey {
+	var out []CovKey
+	for _, k := range c.Keys() {
+		if base.counts[k] == 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Merge adds other's counts into c.
+func (c *Coverage) Merge(other *Coverage) {
+	for k, v := range other.counts {
+		c.counts[k] += v
+	}
+}
+
+// Reset clears all counters.
+func (c *Coverage) Reset() {
+	c.counts = make(map[CovKey]uint64)
+}

@@ -1,0 +1,76 @@
+package exec
+
+import "math"
+
+// Half-precision (IEEE 754 binary16) conversion helpers. The paper added
+// FP16 support to GPGPU-Sim "using an open source library"; we implement
+// the conversions directly: round-to-nearest-even on narrowing, exact on
+// widening, with proper subnormal, infinity and NaN handling.
+
+// F32ToHalf converts a float32 to binary16 bits (round-to-nearest-even).
+func F32ToHalf(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23)&0xFF - 127
+	man := bits & 0x7FFFFF
+
+	switch {
+	case exp == 128: // Inf / NaN
+		if man != 0 {
+			return sign | 0x7E00 // quiet NaN
+		}
+		return sign | 0x7C00
+	case exp > 15: // overflow -> Inf
+		return sign | 0x7C00
+	case exp >= -14: // normal range
+		// 10-bit mantissa; round to nearest even on the dropped 13 bits.
+		m := man >> 13
+		rem := man & 0x1FFF
+		h := sign | uint16(exp+15)<<10 | uint16(m)
+		if rem > 0x1000 || (rem == 0x1000 && m&1 == 1) {
+			h++ // may carry into exponent; that is correct behaviour
+		}
+		return h
+	case exp >= -25: // subnormal half (or rounds up into one)
+		// value = (1.man) * 2^exp = full * 2^(exp-23); in units of the half
+		// subnormal ULP (2^-24) that is full >> shift with shift = -(exp+1).
+		full := man | 0x800000
+		shift := uint32(-(exp + 1))
+		mm := full >> shift
+		rem := full & (1<<shift - 1)
+		mid := uint32(1) << (shift - 1)
+		half := uint16(mm)
+		if rem > mid || (rem == mid && mm&1 == 1) {
+			half++ // may carry into the exponent; that is correct behaviour
+		}
+		return sign | half
+	default: // underflow -> signed zero
+		return sign
+	}
+}
+
+// HalfToF32 converts binary16 bits to float32 (exact).
+func HalfToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1F
+	man := uint32(h & 0x3FF)
+
+	switch {
+	case exp == 0x1F: // Inf / NaN
+		return math.Float32frombits(sign | 0x7F800000 | man<<13)
+	case exp == 0:
+		if man == 0 {
+			return math.Float32frombits(sign)
+		}
+		// subnormal: normalise
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | man<<13)
+	}
+}

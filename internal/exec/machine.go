@@ -1,0 +1,411 @@
+// Package exec implements GPGPU-Sim-style functional simulation of PTX
+// kernels: warps of 32 threads executing in lockstep under SIMT
+// reconvergence stacks, with barriers, predication, all memory spaces,
+// textures and atomics. The timing model (internal/timing) drives the same
+// machine one warp-instruction at a time; the functional mode used for
+// fast-forwarding (paper §III-F) runs warps to completion directly.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/ptx"
+)
+
+// WarpSize is the number of threads per warp.
+const WarpSize = 32
+
+// Dim3 is a CUDA dim3.
+type Dim3 struct{ X, Y, Z int }
+
+// Count returns X*Y*Z (with zero components treated as 1).
+func (d Dim3) Count() int {
+	x, y, z := d.X, d.Y, d.Z
+	if x == 0 {
+		x = 1
+	}
+	if y == 0 {
+		y = 1
+	}
+	if z == 0 {
+		z = 1
+	}
+	return x * y * z
+}
+
+// Config configures a functional machine.
+type Config struct {
+	Bugs BugSet
+}
+
+// Machine executes PTX kernels against a device memory image.
+type Machine struct {
+	cfg Config
+	Mem *device.Memory
+	Tex *device.TextureRegistry
+
+	cov *Coverage
+}
+
+// NewMachine creates a functional machine over the given memory image and
+// texture registry (either may be shared with a runtime context).
+func NewMachine(cfg Config, mem *device.Memory, tex *device.TextureRegistry) *Machine {
+	return &Machine{cfg: cfg, Mem: mem, Tex: tex, cov: NewCoverage()}
+}
+
+// Coverage returns the machine's instruction-implementation coverage
+// counters (see coverage.go; used for differential coverage analysis).
+func (m *Machine) Coverage() *Coverage { return m.cov }
+
+// Bugs returns the configured bug injections.
+func (m *Machine) Bugs() BugSet { return m.cfg.Bugs }
+
+// Grid is one kernel launch: grid/block geometry plus launch state.
+type Grid struct {
+	Kernel    *ptx.Kernel
+	GridDim   Dim3
+	BlockDim  Dim3
+	Params    []byte
+	SharedDyn int // dynamic shared memory bytes (third launch parameter)
+
+	machine *Machine
+}
+
+// NewGrid prepares a launch. The parameter buffer must match the kernel's
+// parameter layout (see cudart for the marshalling helpers).
+func (m *Machine) NewGrid(k *ptx.Kernel, gridDim, blockDim Dim3, params []byte, sharedDyn int) (*Grid, error) {
+	if k == nil {
+		return nil, fmt.Errorf("exec: nil kernel")
+	}
+	if blockDim.Count() == 0 || blockDim.Count() > 1024 {
+		return nil, fmt.Errorf("exec: bad block size %d", blockDim.Count())
+	}
+	if len(params) < k.ParamBytes() {
+		return nil, fmt.Errorf("exec: kernel %s needs %d parameter bytes, got %d",
+			k.Name, k.ParamBytes(), len(params))
+	}
+	return &Grid{
+		Kernel: k, GridDim: gridDim, BlockDim: blockDim,
+		Params: params, SharedDyn: sharedDyn, machine: m,
+	}, nil
+}
+
+// NumCTAs returns the number of thread blocks in the grid.
+func (g *Grid) NumCTAs() int { return g.GridDim.Count() }
+
+// NumWarpsPerCTA returns warps per block.
+func (g *Grid) NumWarpsPerCTA() int {
+	return (g.BlockDim.Count() + WarpSize - 1) / WarpSize
+}
+
+// SharedBytes returns the total shared memory per CTA (static + dynamic).
+func (g *Grid) SharedBytes() int { return g.Kernel.SharedBytes + g.SharedDyn }
+
+// Machine returns the machine this grid executes on.
+func (g *Grid) Machine() *Machine { return g.machine }
+
+// StackEntry is one SIMT reconvergence stack entry.
+type StackEntry struct {
+	PC   int
+	RPC  int // reconvergence PC; -1 for the bottom entry
+	Mask uint32
+}
+
+// Warp is 32 threads executing in lockstep.
+type Warp struct {
+	ID    int
+	Stack []StackEntry
+	// Regs holds raw register bits, laid out slot-major:
+	// Regs[slot*WarpSize+lane].
+	Regs   []uint64
+	Locals [][]byte // per-lane local memory; nil when kernel uses none
+	// InitMask has a bit per lane that exists in the thread block.
+	InitMask   uint32
+	AtBarrier  bool
+	Done       bool
+	InstrCount uint64
+}
+
+// CTA is one thread block in flight.
+type CTA struct {
+	Grid   *Grid
+	Index  int // linear block index
+	Shared []byte
+	Warps  []*Warp
+}
+
+// InitCTA builds the architectural state for block index i (registers
+// zeroed, SIMT stacks at PC 0). This corresponds to GPGPU-Sim's CTA issue.
+func (g *Grid) InitCTA(i int) *CTA {
+	k := g.Kernel
+	nThreads := g.BlockDim.Count()
+	nWarps := g.NumWarpsPerCTA()
+	cta := &CTA{Grid: g, Index: i, Shared: make([]byte, g.SharedBytes())}
+	for w := 0; w < nWarps; w++ {
+		warp := &Warp{
+			ID:    w,
+			Stack: make([]StackEntry, 1, 4),
+			Regs:  make([]uint64, k.NumSlots*WarpSize),
+		}
+		var mask uint32
+		for l := 0; l < WarpSize; l++ {
+			if w*WarpSize+l < nThreads {
+				mask |= 1 << l
+			}
+		}
+		warp.InitMask = mask
+		warp.Stack[0] = StackEntry{PC: 0, RPC: -1, Mask: mask}
+		if k.LocalBytes > 0 {
+			warp.Locals = make([][]byte, WarpSize)
+			for l := 0; l < WarpSize; l++ {
+				if mask&(1<<l) != 0 {
+					warp.Locals[l] = make([]byte, k.LocalBytes)
+				}
+			}
+		}
+		cta.Warps = append(cta.Warps, warp)
+	}
+	return cta
+}
+
+// Done reports whether every warp of the CTA has retired.
+func (c *CTA) Done() bool {
+	for _, w := range c.Warps {
+		if !w.Done {
+			return false
+		}
+	}
+	return true
+}
+
+// Reg reads a register slot for one lane.
+func (w *Warp) Reg(slot, lane int) uint64 { return w.Regs[slot*WarpSize+lane] }
+
+// SetReg writes a register slot for one lane.
+func (w *Warp) SetReg(slot, lane int, v uint64) { w.Regs[slot*WarpSize+lane] = v }
+
+// StepInfo describes one executed warp instruction; the timing model turns
+// this into pipeline and memory-system events.
+type StepInfo struct {
+	PC         int
+	Instr      *ptx.Instr
+	ActiveMask uint32
+	IsMem      bool
+	IsStore    bool
+	IsAtomic   bool
+	Space      ptx.Space
+	AccSize    int // bytes accessed per lane (vector width included)
+	Addrs      [WarpSize]uint64
+	Barrier    bool
+	WarpDone   bool
+}
+
+// linearThread returns the linear thread id of (warp, lane).
+func linearThread(w *Warp, lane int) int { return w.ID*WarpSize + lane }
+
+func (m *Machine) sregValue(c *CTA, w *Warp, lane int, s ptx.SReg) uint64 {
+	g := c.Grid
+	bx, by := g.BlockDim.X, g.BlockDim.Y
+	if bx == 0 {
+		bx = 1
+	}
+	if by == 0 {
+		by = 1
+	}
+	lin := linearThread(w, lane)
+	gx, gy := g.GridDim.X, g.GridDim.Y
+	if gx == 0 {
+		gx = 1
+	}
+	if gy == 0 {
+		gy = 1
+	}
+	switch s {
+	case ptx.SRegTidX:
+		return uint64(lin % bx)
+	case ptx.SRegTidY:
+		return uint64((lin / bx) % by)
+	case ptx.SRegTidZ:
+		return uint64(lin / (bx * by))
+	case ptx.SRegNtidX:
+		return uint64(bx)
+	case ptx.SRegNtidY:
+		return uint64(by)
+	case ptx.SRegNtidZ:
+		z := g.BlockDim.Z
+		if z == 0 {
+			z = 1
+		}
+		return uint64(z)
+	case ptx.SRegCtaidX:
+		return uint64(c.Index % gx)
+	case ptx.SRegCtaidY:
+		return uint64((c.Index / gx) % gy)
+	case ptx.SRegCtaidZ:
+		return uint64(c.Index / (gx * gy))
+	case ptx.SRegNctaidX:
+		return uint64(gx)
+	case ptx.SRegNctaidY:
+		return uint64(gy)
+	case ptx.SRegNctaidZ:
+		z := g.GridDim.Z
+		if z == 0 {
+			z = 1
+		}
+		return uint64(z)
+	case ptx.SRegLaneID:
+		return uint64(lane)
+	case ptx.SRegWarpID:
+		return uint64(w.ID)
+	case ptx.SRegClock:
+		return w.InstrCount
+	}
+	return 0
+}
+
+// immValue converts an immediate operand to raw bits of type t. Float
+// immediates are canonically stored as f64 bits by the parser.
+func immValue(o *ptx.Operand, t ptx.Type) uint64 {
+	if !o.FloatImm {
+		return o.Imm
+	}
+	f := bitsF64(o.Imm)
+	switch t {
+	case ptx.F16:
+		return uint64(F32ToHalf(float32(f)))
+	case ptx.F32:
+		return f32bits(float32(f))
+	case ptx.F64:
+		return o.Imm
+	default:
+		return uint64(int64(f))
+	}
+}
+
+// symAddress resolves a bare symbol operand (shared/local variable name)
+// to its windowed generic address.
+func (m *Machine) symAddress(k *ptx.Kernel, sym string) (uint64, error) {
+	for _, v := range k.SharedVars {
+		if v.Name == sym {
+			return device.SharedWindowBase + uint64(v.Offset), nil
+		}
+	}
+	for _, v := range k.LocalVars {
+		if v.Name == sym {
+			return device.LocalWindowBase + uint64(v.Offset), nil
+		}
+	}
+	return 0, fmt.Errorf("exec: unknown symbol %q in kernel %s", sym, k.Name)
+}
+
+// readOperand fetches one scalar source operand for a lane.
+func (m *Machine) readOperand(c *CTA, w *Warp, lane int, o *ptx.Operand, t ptx.Type) (uint64, error) {
+	switch o.Kind {
+	case ptx.OperandReg:
+		return w.Reg(o.Reg, lane), nil
+	case ptx.OperandSReg:
+		return m.sregValue(c, w, lane, o.SReg), nil
+	case ptx.OperandImm:
+		return immValue(o, t), nil
+	case ptx.OperandSym:
+		return m.symAddress(c.Grid.Kernel, o.Sym)
+	}
+	return 0, fmt.Errorf("exec: unsupported source operand kind %d", o.Kind)
+}
+
+// classifySpace resolves the effective space of a generic address.
+func classifySpace(space ptx.Space, addr uint64) ptx.Space {
+	if space != ptx.SpaceGeneric && space != ptx.SpaceNone {
+		return space
+	}
+	switch {
+	case device.InSharedWindow(addr):
+		return ptx.SpaceShared
+	case device.InLocalWindow(addr):
+		return ptx.SpaceLocal
+	default:
+		return ptx.SpaceGlobal
+	}
+}
+
+func (m *Machine) loadBytes(c *CTA, w *Warp, lane int, space ptx.Space, addr uint64, buf []byte) error {
+	switch classifySpace(space, addr) {
+	case ptx.SpaceShared:
+		off := addr
+		if device.InSharedWindow(addr) {
+			off = addr - device.SharedWindowBase
+		}
+		if int(off)+len(buf) > len(c.Shared) {
+			return fmt.Errorf("exec: shared load out of bounds: off %d size %d (smem %d)", off, len(buf), len(c.Shared))
+		}
+		copy(buf, c.Shared[off:])
+	case ptx.SpaceLocal:
+		off := addr
+		if device.InLocalWindow(addr) {
+			off = addr - device.LocalWindowBase
+		}
+		lm := w.Locals[lane]
+		if int(off)+len(buf) > len(lm) {
+			return fmt.Errorf("exec: local load out of bounds: off %d size %d (lmem %d)", off, len(buf), len(lm))
+		}
+		copy(buf, lm[off:])
+	case ptx.SpaceParam:
+		p := c.Grid.Params
+		if int(addr)+len(buf) > len(p) {
+			return fmt.Errorf("exec: param load out of bounds: off %d size %d (params %d)", addr, len(buf), len(p))
+		}
+		copy(buf, p[addr:])
+	default: // global, const
+		m.Mem.Read(addr, buf)
+	}
+	return nil
+}
+
+func (m *Machine) storeBytes(c *CTA, w *Warp, lane int, space ptx.Space, addr uint64, buf []byte) error {
+	switch classifySpace(space, addr) {
+	case ptx.SpaceShared:
+		off := addr
+		if device.InSharedWindow(addr) {
+			off = addr - device.SharedWindowBase
+		}
+		if int(off)+len(buf) > len(c.Shared) {
+			return fmt.Errorf("exec: shared store out of bounds: off %d size %d (smem %d)", off, len(buf), len(c.Shared))
+		}
+		copy(c.Shared[off:], buf)
+	case ptx.SpaceLocal:
+		off := addr
+		if device.InLocalWindow(addr) {
+			off = addr - device.LocalWindowBase
+		}
+		lm := w.Locals[lane]
+		if int(off)+len(buf) > len(lm) {
+			return fmt.Errorf("exec: local store out of bounds: off %d size %d (lmem %d)", off, len(buf), len(lm))
+		}
+		copy(lm[off:], buf)
+	case ptx.SpaceParam:
+		return fmt.Errorf("exec: store to parameter space")
+	default:
+		m.Mem.Write(addr, buf)
+	}
+	return nil
+}
+
+// memAddress computes the effective address of a memory operand for a lane.
+// For ld.param with a symbol base, the address is the parameter offset.
+func (m *Machine) memAddress(c *CTA, w *Warp, lane int, in *ptx.Instr, o *ptx.Operand) (uint64, ptx.Space, error) {
+	space := in.Space
+	if o.Base >= 0 {
+		return uint64(int64(w.Reg(o.Base, lane)) + o.Offset), space, nil
+	}
+	// Symbol base: parameter name or shared/local variable.
+	k := c.Grid.Kernel
+	if p := k.ParamByName(o.BaseSym); p != nil {
+		return uint64(int64(p.Offset) + o.Offset), ptx.SpaceParam, nil
+	}
+	base, err := m.symAddress(k, o.BaseSym)
+	if err != nil {
+		return 0, space, err
+	}
+	return uint64(int64(base) + o.Offset), space, nil
+}

@@ -1,0 +1,83 @@
+package hwmodel_test
+
+import (
+	"testing"
+
+	"repro/internal/cudart"
+	"repro/internal/cudnn"
+	"repro/internal/exec"
+	"repro/internal/hwmodel"
+)
+
+// TestOracleRunsFunctionally: the oracle must produce correct functional
+// results (hardware is always right) and NVProf-style per-kernel samples.
+func TestOracleRunsFunctionally(t *testing.T) {
+	ctx := cudart.NewContext(exec.BugSet{})
+	h, err := cudnn.Create(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := hwmodel.GTX1050()
+	ctx.SetRunner(oracle)
+	n := 512
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = float32(i) - 256
+	}
+	px, _ := ctx.Malloc(uint64(4 * n))
+	ctx.MemcpyF32HtoD(px, x)
+	py, _ := ctx.Malloc(uint64(4 * n))
+	if err := h.ActivationForward(px, py, n); err != nil {
+		t.Fatal(err)
+	}
+	got := ctx.MemcpyF32DtoH(py, n)
+	for i, v := range got {
+		want := x[i]
+		if want < 0 {
+			want = 0
+		}
+		if v != want {
+			t.Fatalf("relu[%d] = %v, want %v", i, v, want)
+		}
+	}
+	if len(oracle.Samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(oracle.Samples))
+	}
+	s := oracle.Samples[0]
+	if s.Cycles <= oracle.LaunchOverhead {
+		t.Errorf("cycles %v should exceed launch overhead", s.Cycles)
+	}
+	if s.WarpInstrs == 0 || s.MemBytes == 0 {
+		t.Errorf("profile counters empty: %+v", s)
+	}
+}
+
+// TestFudgeMatchesKernelFamilies pins the calibration table's dispatch.
+func TestFudgeMatchesKernelFamilies(t *testing.T) {
+	o := hwmodel.GTX1050()
+	cases := map[string]bool{ // name -> expect fudge < 1
+		"fft2d_r2c_32x32": true,
+		"cgemm":           true,
+		"gemv2t":          true,
+		"lrn_forward":     true,
+		"relu_forward":    false,
+	}
+	for name, fudged := range cases {
+		// exercise via a private-equivalent path: compare two oracles'
+		// overhead-stripped estimates using the exported Fudge map
+		f := 1.0
+		for sub, v := range o.Fudge {
+			low := name
+			if len(sub) <= len(low) {
+				for i := 0; i+len(sub) <= len(low); i++ {
+					if low[i:i+len(sub)] == sub {
+						f = v
+					}
+				}
+			}
+		}
+		if (f < 1) != fudged {
+			t.Errorf("%s: fudge %v, expected fudged=%v", name, f, fudged)
+		}
+	}
+}

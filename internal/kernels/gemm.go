@@ -1,0 +1,200 @@
+package kernels
+
+// GEMM-family kernels: the tiled shared-memory SGEMM used by the GEMM
+// convolution algorithm (and by Winograd-Nonfused's batched stage via
+// grid.z), and GEMV2T, the transposed matrix-vector kernel cuDNN uses for
+// fully-connected layers (one of the paper's Fig. 7 kernels).
+
+// GemmTile is the square tile edge of the SGEMM kernel.
+const GemmTile = 16
+
+// SgemmTiled computes C = alpha*A*B + beta*C for row-major A[M,K], B[K,N],
+// C[M,N]. grid.z selects a batch slice at the given element strides, which
+// lets the same kernel serve both plain and batched (Winograd, FFT) GEMMs.
+// Launch with block (16,16), grid (ceil(N/16), ceil(M/16), batches).
+func SgemmTiled() string {
+	b := NewBuilder("sgemm_tiled")
+	pA, pB, pC := b.PtrParam("pA"), b.PtrParam("pB"), b.PtrParam("pC")
+	pM, pN, pK := b.U32Param("pM"), b.U32Param("pN"), b.U32Param("pK")
+	pSA, pSB, pSC := b.U32Param("pStrideA"), b.U32Param("pStrideB"), b.U32Param("pStrideC")
+	pAl, pBe := b.F32Param("pAlpha"), b.F32Param("pBeta")
+	as := b.Shared("As", GemmTile*GemmTile*4, 4)
+	bs := b.Shared("Bs", GemmTile*GemmTile*4, 4)
+
+	tx, ty := b.R("r"), b.R("r")
+	b.I("mov.u32 %s, %%tid.x;", tx)
+	b.I("mov.u32 %s, %%tid.y;", ty)
+	bx, by, bz := b.R("r"), b.R("r"), b.R("r")
+	b.I("mov.u32 %s, %%ctaid.x;", bx)
+	b.I("mov.u32 %s, %%ctaid.y;", by)
+	b.I("mov.u32 %s, %%ctaid.z;", bz)
+	row, col := b.R("r"), b.R("r")
+	b.I("mad.lo.s32 %s, %s, %d, %s;", row, by, GemmTile, ty)
+	b.I("mad.lo.s32 %s, %s, %d, %s;", col, bx, GemmTile, tx)
+
+	m, n, k := b.LoadU32(pM), b.LoadU32(pN), b.LoadU32(pK)
+	aBase, bBase, cBase := b.LoadPtr(pA), b.LoadPtr(pB), b.LoadPtr(pC)
+	// batch offsets
+	for _, pair := range [][2]string{{aBase, pSA}, {bBase, pSB}, {cBase, pSC}} {
+		stride := b.LoadU32(pair[1])
+		off32 := b.R("r")
+		off := b.R("rd")
+		b.I("mul.lo.u32 %s, %s, %s;", off32, bz, stride)
+		b.I("mul.wide.u32 %s, %s, 4;", off, off32)
+		b.I("add.s64 %s, %s, %s;", pair[0], pair[0], off)
+	}
+
+	acc := b.MovF32(0)
+	zero := b.MovF32(0)
+	numTiles := b.R("r")
+	b.I("add.u32 %s, %s, %d;", numTiles, k, GemmTile-1)
+	b.I("div.u32 %s, %s, %d;", numTiles, numTiles, GemmTile)
+
+	asAddr, bsAddr := b.R("r"), b.R("r")
+	b.I("mov.u32 %s, %s;", asAddr, as)
+	b.I("mov.u32 %s, %s;", bsAddr, bs)
+	// this thread's store slots in the tiles
+	asSt, bsSt := b.R("r"), b.R("r")
+	lin := b.R("r")
+	b.I("mad.lo.s32 %s, %s, %d, %s;", lin, ty, GemmTile, tx)
+	b.I("mad.lo.s32 %s, %s, 4, %s;", asSt, lin, asAddr)
+	b.I("mad.lo.s32 %s, %s, 4, %s;", bsSt, lin, bsAddr)
+
+	t := b.R("r")
+	b.I("mov.u32 %s, 0;", t)
+	tileLoop := b.L("TILE_LOOP")
+	pDone := b.R("p")
+	endTiles := b.NewLabel("end_tiles")
+	b.I("setp.ge.u32 %s, %s, %s;", pDone, t, numTiles)
+	b.I("@%s bra %s;", pDone, endTiles)
+
+	// load A element (row, t*16+tx), guarded via selp clamp
+	aCol := b.R("r")
+	b.I("mad.lo.s32 %s, %s, %d, %s;", aCol, t, GemmTile, tx)
+	pa1, pa2 := b.R("p"), b.R("p")
+	b.I("setp.lt.u32 %s, %s, %s;", pa1, row, m)
+	b.I("setp.lt.u32 %s, %s, %s;", pa2, aCol, k)
+	b.I("and.pred %s, %s, %s;", pa1, pa1, pa2)
+	aIdx := b.R("r")
+	b.I("mad.lo.s32 %s, %s, %s, %s;", aIdx, row, k, aCol)
+	b.I("selp.b32 %s, %s, 0, %s;", aIdx, aIdx, pa1)
+	aAddr := b.ElemAddr(aBase, aIdx, 4)
+	va := b.R("f")
+	b.I("ld.global.f32 %s, [%s];", va, aAddr)
+	b.I("selp.b32 %s, %s, %s, %s;", va, va, zero, pa1)
+	b.I("st.shared.f32 [%s], %s;", asSt, va)
+
+	// load B element (t*16+ty, col)
+	bRow := b.R("r")
+	b.I("mad.lo.s32 %s, %s, %d, %s;", bRow, t, GemmTile, ty)
+	pb1, pb2 := b.R("p"), b.R("p")
+	b.I("setp.lt.u32 %s, %s, %s;", pb1, bRow, k)
+	b.I("setp.lt.u32 %s, %s, %s;", pb2, col, n)
+	b.I("and.pred %s, %s, %s;", pb1, pb1, pb2)
+	bIdx := b.R("r")
+	b.I("mad.lo.s32 %s, %s, %s, %s;", bIdx, bRow, n, col)
+	b.I("selp.b32 %s, %s, 0, %s;", bIdx, bIdx, pb1)
+	bAddr := b.ElemAddr(bBase, bIdx, 4)
+	vb := b.R("f")
+	b.I("ld.global.f32 %s, [%s];", vb, bAddr)
+	b.I("selp.b32 %s, %s, %s, %s;", vb, vb, zero, pb1)
+	b.I("st.shared.f32 [%s], %s;", bsSt, vb)
+
+	b.I("bar.sync 0;")
+
+	// inner product over the tile
+	asPtr, bsPtr := b.R("r"), b.R("r")
+	b.I("mad.lo.s32 %s, %s, %d, %s;", asPtr, ty, GemmTile*4, asAddr)
+	b.I("mad.lo.s32 %s, %s, 4, %s;", bsPtr, tx, bsAddr)
+	kk := b.R("r")
+	b.I("mov.u32 %s, 0;", kk)
+	inner := b.L("INNER")
+	pInner := b.R("p")
+	innerEnd := b.NewLabel("inner_end")
+	b.I("setp.ge.u32 %s, %s, %d;", pInner, kk, GemmTile)
+	b.I("@%s bra %s;", pInner, innerEnd)
+	ea, eb := b.R("f"), b.R("f")
+	b.I("ld.shared.f32 %s, [%s];", ea, asPtr)
+	b.I("ld.shared.f32 %s, [%s];", eb, bsPtr)
+	b.I("fma.rn.f32 %s, %s, %s, %s;", acc, ea, eb, acc)
+	b.I("add.u32 %s, %s, 4;", asPtr, asPtr)
+	b.I("add.u32 %s, %s, %d;", bsPtr, bsPtr, GemmTile*4)
+	b.I("add.u32 %s, %s, 1;", kk, kk)
+	b.I("bra %s;", inner)
+	b.L(innerEnd)
+
+	b.I("bar.sync 0;")
+	b.I("add.u32 %s, %s, 1;", t, t)
+	b.I("bra %s;", tileLoop)
+	b.L(endTiles)
+
+	// write back
+	end := b.NewLabel("end")
+	pc1, pc2 := b.R("p"), b.R("p")
+	b.I("setp.ge.u32 %s, %s, %s;", pc1, row, m)
+	b.I("@%s bra %s;", pc1, end)
+	b.I("setp.ge.u32 %s, %s, %s;", pc2, col, n)
+	b.I("@%s bra %s;", pc2, end)
+	cIdx := b.R("r")
+	b.I("mad.lo.s32 %s, %s, %s, %s;", cIdx, row, n, col)
+	cAddr := b.ElemAddr(cBase, cIdx, 4)
+	alpha, beta := b.LoadF32(pAl), b.LoadF32(pBe)
+	old := b.R("f")
+	b.I("ld.global.f32 %s, [%s];", old, cAddr)
+	resv := b.R("f")
+	b.I("mul.f32 %s, %s, %s;", resv, acc, alpha)
+	b.I("fma.rn.f32 %s, %s, %s, %s;", resv, old, beta, resv)
+	b.I("st.global.f32 [%s], %s;", cAddr, resv)
+	b.L(end)
+	return b.Build()
+}
+
+// Gemv2T computes y = alpha * A^T x + beta * y for row-major A[rows,
+// cols]: y[j] = sum_i A[i, j] * x[i]. One thread per output element; this
+// is the "GEMV2T" kernel shape cuDNN uses for fully-connected layers.
+func Gemv2T() string {
+	b := NewBuilder("gemv2t")
+	pA, pX, pY := b.PtrParam("pA"), b.PtrParam("pX"), b.PtrParam("pY")
+	pRows, pCols := b.U32Param("pRows"), b.U32Param("pCols")
+	pAl, pBe := b.F32Param("pAlpha"), b.F32Param("pBeta")
+	end := b.NewLabel("end")
+	j := b.GlobalTidX()
+	cols := b.LoadU32(pCols)
+	b.GuardEnd(j, cols, end)
+	rows := b.LoadU32(pRows)
+	aBase, xBase, yBase := b.LoadPtr(pA), b.LoadPtr(pX), b.LoadPtr(pY)
+
+	acc := b.MovF32(0)
+	// aPtr walks down column j with stride cols*4
+	aPtr := b.ElemAddr(aBase, j, 4)
+	xPtr := b.R("rd")
+	b.I("mov.u64 %s, %s;", xPtr, xBase)
+	strideBytes := b.R("rd")
+	b.I("mul.wide.u32 %s, %s, 4;", strideBytes, cols)
+	i := b.R("r")
+	b.I("mov.u32 %s, 0;", i)
+	loop := b.L("ROW_LOOP")
+	p := b.R("p")
+	loopEnd := b.NewLabel("row_end")
+	b.I("setp.ge.u32 %s, %s, %s;", p, i, rows)
+	b.I("@%s bra %s;", p, loopEnd)
+	va, vx := b.R("f"), b.R("f")
+	b.I("ld.global.f32 %s, [%s];", va, aPtr)
+	b.I("ld.global.f32 %s, [%s];", vx, xPtr)
+	b.I("fma.rn.f32 %s, %s, %s, %s;", acc, va, vx, acc)
+	b.I("add.s64 %s, %s, %s;", aPtr, aPtr, strideBytes)
+	b.I("add.s64 %s, %s, 4;", xPtr, xPtr)
+	b.I("add.u32 %s, %s, 1;", i, i)
+	b.I("bra %s;", loop)
+	b.L(loopEnd)
+
+	alpha, beta := b.LoadF32(pAl), b.LoadF32(pBe)
+	yAddr := b.ElemAddr(yBase, j, 4)
+	old, res := b.R("f"), b.R("f")
+	b.I("ld.global.f32 %s, [%s];", old, yAddr)
+	b.I("mul.f32 %s, %s, %s;", res, acc, alpha)
+	b.I("fma.rn.f32 %s, %s, %s, %s;", res, old, beta, res)
+	b.I("st.global.f32 [%s], %s;", yAddr, res)
+	b.L(end)
+	return b.Build()
+}

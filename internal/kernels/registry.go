@@ -1,0 +1,69 @@
+package kernels
+
+// Library assembly. Mirroring real cuDNN — whose shared library embeds
+// many PTX translation units, with some symbol names repeated across
+// units (§III-A) — the kernel corpus is split into several modules that
+// must each be registered with a separate cudart.RegisterModule call.
+// The fill_zero helper is intentionally present in two modules to keep
+// the duplicate-symbol behaviour exercised.
+
+// ModuleElementwise contains activation/bias/SGD/conversion kernels.
+func ModuleElementwise() string {
+	return Module(nil,
+		ReluForward(), ReluBackward(), AddBias(), SGDUpdate(), Scale(),
+		AccumulateAdd(), FillZero(), RotateFilter180(), Pad2D(),
+		F32ToF16Kernel(), F16ToF32Kernel(),
+	)
+}
+
+// ModuleGemm contains the GEMM family and im2col/col2im staging.
+func ModuleGemm() string {
+	return Module(nil, SgemmTiled(), Gemv2T(), Im2Col(), Col2Im())
+}
+
+// ModuleConvDirect contains the direct (implicit GEMM / Algorithm 0/1/3)
+// convolution kernels.
+func ModuleConvDirect() string {
+	return Module(nil,
+		ConvForwardImplicitGemm(), ConvBwdDataAlgo0(), ConvBwdDataAlgo1(),
+		ConvBwdFilterAlgo0(), ConvBwdFilterAlgo1(), ConvBwdFilterAlgo3(),
+	)
+}
+
+// ModuleFFT contains the FFT convolution pipeline. It deliberately also
+// carries its own copy of fill_zero (duplicate symbol across modules).
+func ModuleFFT() string {
+	return Module(nil,
+		FFTR2C32(), FFTR2C16(), FFTC2R32(), FFTC2R16(),
+		CGemm(), CGemmBwdFilter(), FFTCrop(), FFTTileExtract(), FFTTileStitch(), FillZero(),
+	)
+}
+
+// ModuleWinograd contains the Winograd kernels.
+func ModuleWinograd() string {
+	return Module(nil,
+		WinogradFused(), WinogradFilterTransform(), WinogradInputTransform(),
+		WinogradOutputTransform(), WinogradBwdFilter(),
+	)
+}
+
+// ModulePoolSoftmax contains pooling and softmax kernels.
+func ModulePoolSoftmax() string {
+	return Module(nil,
+		MaxPoolForward(), MaxPoolBackward(), SoftmaxForward(), SoftmaxNLLBackward(),
+	)
+}
+
+// ModuleLRN contains the texture-based LRN kernels and declares the
+// module-level texref they sample.
+func ModuleLRN() string {
+	return Module([]string{LRNTexName}, LRNForward(), LRNBackward())
+}
+
+// AllModules returns every library module, in registration order.
+func AllModules() []string {
+	return []string{
+		ModuleElementwise(), ModuleGemm(), ModuleConvDirect(),
+		ModuleFFT(), ModuleWinograd(), ModulePoolSoftmax(), ModuleLRN(),
+	}
+}

@@ -1,0 +1,156 @@
+package ptx
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF       tokKind = iota
+	tokIdent             // identifiers, possibly with leading % or embedded dots (%tid.x)
+	tokDirective         // .version, .reg, ... (leading dot)
+	tokNumber
+	tokPunct // , ; [ ] { } ( ) : @ ! + - = | < >
+	tokString
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lexPTX(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		case c == '"':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '"' {
+				l.pos++
+			}
+			l.pos++
+			l.emit(tokString, l.src[start:l.pos])
+		case isIdentStart(c):
+			l.lexIdent()
+		case c == '.':
+			// directive or modifier chain start; lex as .ident
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+				l.pos++
+			}
+			l.emit(tokDirective, l.src[start:l.pos])
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.lexNumber()
+		case strings.IndexByte(",;[]{}():@!+-=|<>*", c) >= 0:
+			l.emit(tokPunct, string(c))
+			l.pos++
+		default:
+			return nil, fmt.Errorf("ptx: line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, line: l.line})
+}
+
+func isIdentStart(c byte) bool {
+	return c == '%' || c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// lexIdent lexes an identifier. Special registers such as %tid.x keep the
+// ".x" suffix attached so the parser sees a single token; ordinary register
+// or symbol names stop at the first dot.
+func (l *lexer) lexIdent() {
+	start := l.pos
+	if l.src[l.pos] == '%' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+		l.pos++
+	}
+	name := l.src[start:l.pos]
+	if name == "%tid" || name == "%ntid" || name == "%ctaid" || name == "%nctaid" {
+		if l.pos+1 < len(l.src) && l.src[l.pos] == '.' {
+			l.pos += 2 // consume .x/.y/.z
+			name = l.src[start:l.pos]
+		}
+	}
+	l.emit(tokIdent, name)
+}
+
+// lexNumber lexes decimal, hex (0x...), PTX single-precision (0f...) and
+// double-precision (0d...) literals, with an optional leading minus sign.
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '0' &&
+		(l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X' ||
+			l.src[l.pos+1] == 'f' || l.src[l.pos+1] == 'F' ||
+			l.src[l.pos+1] == 'd' || l.src[l.pos+1] == 'D') {
+		l.pos += 2
+		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	} else {
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+			l.pos++
+		}
+		// decimal float literals (used only in directives, rare)
+		if l.pos < len(l.src) && l.src[l.pos] == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+				l.pos++
+			}
+		}
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == 'U' {
+		l.pos++
+	}
+	l.emit(tokNumber, l.src[start:l.pos])
+}
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

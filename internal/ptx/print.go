@@ -1,0 +1,236 @@
+package ptx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print emits the module as parseable PTX text. Round-tripping a module
+// through Print and Parse yields an equivalent module; the debug package
+// relies on this to re-emit instrumented kernels (paper Fig. 3).
+func Print(m *Module) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".version %s\n", orDefault(m.Version, "6.0"))
+	fmt.Fprintf(&b, ".target %s\n", orDefault(m.Target, "sm_61"))
+	fmt.Fprintf(&b, ".address_size %d\n\n", m.AddressSize)
+	for _, t := range m.Textures {
+		fmt.Fprintf(&b, ".global .texref %s;\n", t)
+	}
+	for _, name := range m.KernelOrder {
+		printKernel(&b, m.Kernels[name])
+	}
+	return b.String()
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+func printKernel(b *strings.Builder, k *Kernel) {
+	fmt.Fprintf(b, ".visible .entry %s(\n", k.Name)
+	for i, p := range k.Params {
+		comma := ","
+		if i == len(k.Params)-1 {
+			comma = ""
+		}
+		if p.Size > p.Type.Size() {
+			fmt.Fprintf(b, "\t.param .align %d .%s %s[%d]%s\n", p.Align, p.Type, p.Name, p.Size/p.Type.Size(), comma)
+		} else {
+			fmt.Fprintf(b, "\t.param .%s %s%s\n", p.Type, p.Name, comma)
+		}
+	}
+	fmt.Fprintf(b, ")\n{\n")
+	// Register declarations: one per declared register name. Ranged
+	// declarations are flattened; this is still valid PTX for our parser.
+	byType := map[Type][]string{}
+	for slot := 0; slot < k.NumSlots; slot++ {
+		t := k.regTypes[slot]
+		byType[t] = append(byType[t], k.regNames[slot])
+	}
+	for t := Type(1); t < Pred+1; t++ {
+		names := byType[t]
+		if len(names) == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "\t.reg .%s %s;\n", t, strings.Join(names, ", "))
+	}
+	for _, v := range k.SharedVars {
+		fmt.Fprintf(b, "\t.shared .align %d .b8 %s[%d];\n", v.Align, v.Name, v.Size)
+	}
+	for _, v := range k.LocalVars {
+		fmt.Fprintf(b, "\t.local .align %d .b8 %s[%d];\n", v.Align, v.Name, v.Size)
+	}
+	b.WriteString("\n")
+
+	// invert labels: pc -> names
+	labelAt := map[int][]string{}
+	for name, pc := range k.Labels {
+		labelAt[pc] = append(labelAt[pc], name)
+	}
+	for pc := range k.Instrs {
+		for _, l := range labelAt[pc] {
+			fmt.Fprintf(b, "%s:\n", l)
+		}
+		fmt.Fprintf(b, "\t%s\n", FormatInstr(k, &k.Instrs[pc]))
+	}
+	for _, l := range labelAt[len(k.Instrs)] {
+		fmt.Fprintf(b, "%s:\n", l)
+	}
+	b.WriteString("}\n\n")
+}
+
+// FormatInstr renders one instruction as PTX text (with trailing ';').
+func FormatInstr(k *Kernel, in *Instr) string {
+	var b strings.Builder
+	if in.PredReg >= 0 {
+		b.WriteByte('@')
+		if in.PredNeg {
+			b.WriteByte('!')
+		}
+		b.WriteString(k.RegName(in.PredReg))
+		b.WriteByte(' ')
+	}
+	b.WriteString(in.Op.String())
+	writeMods(&b, in)
+	b.WriteByte(' ')
+
+	switch in.Op {
+	case OpBra:
+		b.WriteString(in.Label)
+	case OpTex:
+		b.WriteString(formatOperand(k, &in.Dst[0]))
+		b.WriteString(", [")
+		b.WriteString(in.Src[0].Sym)
+		b.WriteString(", ")
+		b.WriteString(formatOperand(k, &in.Src[1]))
+		b.WriteString("]")
+	case OpSt:
+		parts := make([]string, len(in.Src))
+		for i := range in.Src {
+			parts[i] = formatOperand(k, &in.Src[i])
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	default:
+		var parts []string
+		for i := range in.Dst {
+			parts = append(parts, formatOperand(k, &in.Dst[i]))
+		}
+		for i := range in.Src {
+			parts = append(parts, formatOperand(k, &in.Src[i]))
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	}
+	s := strings.TrimRight(b.String(), " ")
+	return s + ";"
+}
+
+func writeMods(b *strings.Builder, in *Instr) {
+	emit := func(s string) {
+		b.WriteByte('.')
+		b.WriteString(s)
+	}
+	if in.Uni {
+		emit("uni")
+	}
+	if in.To {
+		emit("to")
+	}
+	switch in.Space {
+	case SpaceGlobal:
+		emit("global")
+	case SpaceShared:
+		emit("shared")
+	case SpaceLocal:
+		emit("local")
+	case SpaceParam:
+		emit("param")
+	case SpaceConst:
+		emit("const")
+	}
+	if in.Op == OpAtom && in.Atom != AtomNone {
+		emit(in.Atom.String())
+	}
+	if in.Op == OpBar {
+		emit("sync")
+	}
+	if in.Geom == 1 {
+		emit("1d")
+	}
+	if in.Geom == 2 {
+		emit("2d")
+	}
+	if in.Vec == 2 {
+		emit("v2")
+	}
+	if in.Vec == 4 {
+		emit("v4")
+	}
+	if in.Cmp != CmpNone {
+		emit(in.Cmp.String())
+	}
+	if in.Approx {
+		emit("approx")
+	}
+	if in.Rnd != RndNone {
+		emit(in.Rnd.String())
+	}
+	if in.Op == OpCvt && in.T.Float() && in.T2.Float() && in.T.Size() <= in.T2.Size() && in.Rnd == RndNone {
+		emit("rn") // float narrowing conversions require a rounding mode
+	}
+	if in.Op == OpFma {
+		emit("rn")
+	}
+	if (in.Op == OpDiv || in.Op == OpSqrt || in.Op == OpRcp) && in.T.Float() && !in.Approx {
+		emit("rn")
+	}
+	if in.Wide {
+		emit("wide")
+	}
+	if in.Lo {
+		emit("lo")
+	}
+	if in.Hi {
+		emit("hi")
+	}
+	if in.T != TypeNone {
+		emit(in.T.String())
+	}
+	if in.T2 != TypeNone {
+		emit(in.T2.String())
+	}
+}
+
+func formatOperand(k *Kernel, o *Operand) string {
+	switch o.Kind {
+	case OperandReg:
+		return k.RegName(o.Reg)
+	case OperandSReg:
+		return o.SReg.String()
+	case OperandImm:
+		if o.FloatImm {
+			return fmt.Sprintf("0d%016X", o.Imm)
+		}
+		return fmt.Sprintf("%d", int64(o.Imm))
+	case OperandMem:
+		base := o.BaseSym
+		if o.Base >= 0 {
+			base = k.RegName(o.Base)
+		}
+		if o.Offset != 0 {
+			return fmt.Sprintf("[%s+%d]", base, o.Offset)
+		}
+		return fmt.Sprintf("[%s]", base)
+	case OperandVec:
+		parts := make([]string, len(o.Elems))
+		for i := range o.Elems {
+			parts[i] = formatOperand(k, &o.Elems[i])
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case OperandSym:
+		return o.Sym
+	}
+	return "?"
+}

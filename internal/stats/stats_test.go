@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearson(t *testing.T) {
+	if p := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); math.Abs(p-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", p)
+	}
+	if p := Pearson([]float64{1, 2, 3}, []float64{6, 4, 2}); math.Abs(p+1) > 1e-12 {
+		t.Errorf("perfect anti-correlation = %v", p)
+	}
+	if p := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); !math.IsNaN(p) {
+		t.Errorf("zero-variance input should be NaN, got %v", p)
+	}
+	if p := Pearson([]float64{1}, []float64{1}); !math.IsNaN(p) {
+		t.Errorf("short input should be NaN, got %v", p)
+	}
+}
+
+// Property: Pearson is invariant under positive affine transforms.
+func TestPearsonAffineInvariance(t *testing.T) {
+	f := func(a, b, c, d int8) bool {
+		x := []float64{1, 5, 2, 9, 3, 7}
+		y := []float64{2, 4, 1, 8, 5, 6}
+		scale := math.Abs(float64(a))/16 + 0.5
+		scale2 := math.Abs(float64(c))/16 + 0.5
+		x2 := make([]float64, len(x))
+		y2 := make([]float64, len(y))
+		for i := range x {
+			x2[i] = x[i]*scale + float64(b)
+			y2[i] = y[i]*scale2 + float64(d)
+		}
+		return math.Abs(Pearson(x, y)-Pearson(x2, y2)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrelateAggregation(t *testing.T) {
+	c := Correlate([]KernelTime{
+		{Name: "a", HWCycles: 100, SimCycles: 90, Launches: 1},
+		{Name: "b", HWCycles: 50, SimCycles: 60, Launches: 1},
+		{Name: "a", HWCycles: 100, SimCycles: 110, Launches: 1},
+	})
+	if len(c.Kernels) != 2 {
+		t.Fatalf("kernels = %d, want 2 (merged)", len(c.Kernels))
+	}
+	if c.TotalHW != 250 || c.TotalSim != 260 {
+		t.Errorf("totals = %v/%v", c.TotalHW, c.TotalSim)
+	}
+	if math.Abs(c.OverallError-10.0/250) > 1e-12 {
+		t.Errorf("overall error = %v", c.OverallError)
+	}
+	for _, k := range c.Kernels {
+		if k.Name == "a" && (k.HWCycles != 200 || k.Launches != 2) {
+			t.Errorf("merge wrong: %+v", k)
+		}
+	}
+	c.SortByHW()
+	if c.Kernels[0].Name != "a" {
+		t.Error("sort by HW time failed")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"x", "longer"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "longer") || !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("header malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,76 @@
+// Package timing implements the cycle-level GPU performance model — the
+// paper's "Performance simulation mode": SIMT cores with per-scheduler
+// warp issue and register scoreboards, a memory coalescer, per-core L1
+// caches, a crossbar to memory partitions each holding an L2 slice and a
+// DRAM channel, and the per-interval statistics AerialVision plots
+// (global/per-shader IPC, warp-issue breakdowns, per-bank DRAM
+// efficiency/utilization).
+package timing
+
+import (
+	"repro/internal/cache"
+	"repro/internal/dram"
+)
+
+// Config describes the modelled GPU.
+type Config struct {
+	Name            string
+	NumSMs          int
+	SchedulersPerSM int
+	MaxCTAsPerSM    int
+	MaxWarpsPerSM   int
+	SharedMemPerSM  int
+
+	// latencies in core cycles
+	ALULat    int
+	SFULat    int
+	IntDivLat int
+	SharedLat int
+	L1HitLat  int
+	L2Lat     int
+	NoCLat    int
+
+	L1            cache.Config
+	L2            cache.Config // per partition slice
+	NumPartitions int
+	DRAM          dram.Config
+
+	// SampleInterval is the AerialVision bucket width in cycles.
+	SampleInterval int
+	ClockMHz       float64
+}
+
+// GTX1050 approximates the GeForce GTX 1050 (GP107) used for the paper's
+// correlation study (§IV): 5 SMs, 128-bit GDDR5 (4 x 32-bit channels).
+func GTX1050() Config {
+	return Config{
+		Name: "GTX1050", NumSMs: 5, SchedulersPerSM: 4,
+		MaxCTAsPerSM: 8, MaxWarpsPerSM: 32, SharedMemPerSM: 64 << 10,
+		ALULat: 6, SFULat: 16, IntDivLat: 20, SharedLat: 24,
+		L1HitLat: 28, L2Lat: 120, NoCLat: 8,
+		L1:             cache.Config{SizeBytes: 48 << 10, LineBytes: 128, Assoc: 6, MSHRs: 32},
+		L2:             cache.Config{SizeBytes: 256 << 10, LineBytes: 128, Assoc: 8, MSHRs: 64, WriteBack: true},
+		NumPartitions:  4,
+		DRAM:           dram.DefaultConfig(),
+		SampleInterval: 500,
+		ClockMHz:       1392,
+	}
+}
+
+// GTX1080Ti approximates the GeForce GTX 1080 Ti (GP102) the paper models
+// for the conv_sample case studies (§V-A): 28 SMs, 352-bit bus (11
+// partitions).
+func GTX1080Ti() Config {
+	return Config{
+		Name: "GTX1080Ti", NumSMs: 28, SchedulersPerSM: 4,
+		MaxCTAsPerSM: 16, MaxWarpsPerSM: 64, SharedMemPerSM: 96 << 10,
+		ALULat: 6, SFULat: 16, IntDivLat: 20, SharedLat: 24,
+		L1HitLat: 28, L2Lat: 120, NoCLat: 10,
+		L1:             cache.Config{SizeBytes: 48 << 10, LineBytes: 128, Assoc: 6, MSHRs: 32},
+		L2:             cache.Config{SizeBytes: 256 << 10, LineBytes: 128, Assoc: 8, MSHRs: 64, WriteBack: true},
+		NumPartitions:  11,
+		DRAM:           dram.DefaultConfig(),
+		SampleInterval: 500,
+		ClockMHz:       1481,
+	}
+}

@@ -1,0 +1,239 @@
+package timing_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cudart"
+	"repro/internal/cudnn"
+	"repro/internal/exec"
+	"repro/internal/ref"
+	"repro/internal/timing"
+)
+
+func perfContext(t *testing.T, cfg timing.Config) (*cudart.Context, *cudnn.Handle, *timing.Engine) {
+	t.Helper()
+	ctx := cudart.NewContext(exec.BugSet{})
+	h, err := cudnn.Create(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := timing.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.SetRunner(timing.Runner{E: eng})
+	return ctx, h, eng
+}
+
+func TestTimingFunctionalEquivalence(t *testing.T) {
+	// The performance model must produce bit-identical results to the
+	// functional mode (it drives the same functional machine).
+	rng := rand.New(rand.NewSource(50))
+	xs := ref.TensorShape4{N: 1, C: 2, H: 10, W: 10}
+	k, r := 3, 3
+	p := ref.ConvParams{Stride: 1, Pad: 1}
+	x := make([]float32, xs.Count())
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	w := make([]float32, k*xs.C*r*r)
+	for i := range w {
+		w[i] = rng.Float32() - 0.5
+	}
+	want, ys := ref.Conv2DForward(x, xs, w, k, r, p)
+
+	ctx, h, eng := perfContext(t, timing.GTX1050())
+	px, _ := ctx.Malloc(uint64(4 * len(x)))
+	ctx.MemcpyF32HtoD(px, x)
+	pw, _ := ctx.Malloc(uint64(4 * len(w)))
+	ctx.MemcpyF32HtoD(pw, w)
+	py, _ := ctx.Malloc(uint64(4 * ys.Count()))
+	_, err := h.ConvolutionForward(cudnn.FwdAlgoImplicitGemm, px,
+		cudnn.TensorDesc{N: xs.N, C: xs.C, H: xs.H, W: xs.W}, pw,
+		cudnn.FilterDesc{K: k, C: xs.C, R: r, S: r},
+		cudnn.ConvDesc{Pad: p.Pad, Stride: p.Stride}, py)
+	if err != nil {
+		t.Fatalf("perf-mode conv: %v", err)
+	}
+	got := ctx.MemcpyF32DtoH(py, ys.Count())
+	for i := range got {
+		d := got[i] - want[i]
+		if d < -1e-4 || d > 1e-4 {
+			t.Fatalf("perf-mode result differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if eng.Cycle() == 0 {
+		t.Fatal("no cycles elapsed in performance mode")
+	}
+	log := ctx.KernelStatsLog()
+	if len(log) == 0 || log[0].Cycles == 0 {
+		t.Fatalf("kernel stats missing cycles: %+v", log)
+	}
+	if log[0].WarpInstrs == 0 {
+		t.Fatal("kernel stats missing instruction count")
+	}
+}
+
+func TestTimingDeterminism(t *testing.T) {
+	run := func() uint64 {
+		ctx, h, eng := perfContext(t, timing.GTX1050())
+		x := make([]float32, 4*16*16)
+		for i := range x {
+			x[i] = float32(i%13) * 0.25
+		}
+		px, _ := ctx.Malloc(uint64(4 * len(x)))
+		ctx.MemcpyF32HtoD(px, x)
+		py, _ := ctx.Malloc(uint64(4 * len(x)))
+		if err := h.ActivationForward(px, py, len(x)); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Cycle()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("timing is not deterministic: %d vs %d cycles", a, b)
+	}
+}
+
+func TestTimingSaneIPC(t *testing.T) {
+	// A large embarrassingly-parallel kernel should reach an IPC well
+	// above 1 on a 5-SM GPU and far below the theoretical peak.
+	ctx, h, eng := perfContext(t, timing.GTX1050())
+	n := 1 << 15
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = float32(i)
+	}
+	px, _ := ctx.Malloc(uint64(4 * n))
+	ctx.MemcpyF32HtoD(px, x)
+	py, _ := ctx.Malloc(uint64(4 * n))
+	if err := h.ActivationForward(px, py, n); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	ipc := st.TotalIPC(eng.Cycle())
+	peak := float64(eng.Config().NumSMs * eng.Config().SchedulersPerSM)
+	if ipc <= 0.3 || ipc > peak {
+		t.Fatalf("IPC %v implausible (peak %v)", ipc, peak)
+	}
+	if st.L1Accesses == 0 || st.DRAMAccesses == 0 {
+		t.Fatalf("memory system unused: L1=%d DRAM=%d", st.L1Accesses, st.DRAMAccesses)
+	}
+}
+
+func TestTimingCacheLocality(t *testing.T) {
+	// Re-running the same kernel over the same data must hit in cache and
+	// finish faster the second time (L2 is persistent across launches).
+	ctx, h, _ := perfContext(t, timing.GTX1050())
+	n := 1 << 12
+	px, _ := ctx.Malloc(uint64(4 * n))
+	py, _ := ctx.Malloc(uint64(4 * n))
+	if err := h.ActivationForward(px, py, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ActivationForward(px, py, n); err != nil {
+		t.Fatal(err)
+	}
+	log := ctx.KernelStatsLog()
+	if len(log) != 2 {
+		t.Fatalf("expected 2 launches, got %d", len(log))
+	}
+	if log[1].Cycles >= log[0].Cycles {
+		t.Fatalf("warm run (%d cycles) not faster than cold run (%d cycles)",
+			log[1].Cycles, log[0].Cycles)
+	}
+}
+
+func TestTimingBarrierKernel(t *testing.T) {
+	// SGEMM uses bar.sync heavily; it must complete and record barrier
+	// stalls in the warp-issue breakdown.
+	ctx, h, eng := perfContext(t, timing.GTX1050())
+	m, n, k := 64, 64, 64
+	a := make([]float32, m*k)
+	bm := make([]float32, k*n)
+	for i := range a {
+		a[i] = float32(i%7) * 0.5
+	}
+	for i := range bm {
+		bm[i] = float32(i%5) * 0.25
+	}
+	pa, _ := ctx.Malloc(uint64(4 * len(a)))
+	ctx.MemcpyF32HtoD(pa, a)
+	pb, _ := ctx.Malloc(uint64(4 * len(bm)))
+	ctx.MemcpyF32HtoD(pb, bm)
+	pc, _ := ctx.Malloc(uint64(4 * m * n))
+	if err := h.Gemm(pa, pb, pc, m, n, k, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float32, m*n)
+	ref.Gemm(a, bm, want, m, n, k, 1, 0)
+	got := ctx.MemcpyF32DtoH(pc, m*n)
+	for i := range got {
+		d := got[i] - want[i]
+		if d < -1e-2 || d > 1e-2 {
+			t.Fatalf("gemm perf-mode mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if eng.Stats().SharedAccesses == 0 {
+		t.Fatal("no shared-memory accesses recorded for tiled GEMM")
+	}
+}
+
+func TestWarpBreakdownSeries(t *testing.T) {
+	ctx, h, eng := perfContext(t, timing.GTX1050())
+	n := 1 << 13
+	px, _ := ctx.Malloc(uint64(4 * n))
+	py, _ := ctx.Malloc(uint64(4 * n))
+	if err := h.ActivationForward(px, py, n); err != nil {
+		t.Fatal(err)
+	}
+	names, series := eng.Stats().WarpIssueBreakdown()
+	if len(names) != 4+32 {
+		t.Fatalf("expected 36 warp categories, got %d", len(names))
+	}
+	var any float64
+	for _, row := range series {
+		for _, v := range row {
+			any += v
+			if v < 0 || v > 1.0001 {
+				t.Fatalf("breakdown fraction %v out of range", v)
+			}
+		}
+	}
+	if any == 0 {
+		t.Fatal("empty warp breakdown")
+	}
+	// full-warp issues (W32) must appear for a 256-thread elementwise kernel
+	w32 := series[len(series)-1]
+	var sum float64
+	for _, v := range w32 {
+		sum += v
+	}
+	if sum == 0 {
+		t.Fatal("no full-warp issues recorded")
+	}
+}
+
+func TestDRAMSeriesPopulated(t *testing.T) {
+	ctx, h, eng := perfContext(t, timing.GTX1050())
+	n := 1 << 14
+	px, _ := ctx.Malloc(uint64(4 * n))
+	py, _ := ctx.Malloc(uint64(4 * n))
+	if err := h.ActivationForward(px, py, n); err != nil {
+		t.Fatal(err)
+	}
+	chans := eng.Partitions()
+	var reads uint64
+	for _, ch := range chans {
+		r, _, _, _ := ch.Totals()
+		reads += r
+		eff := ch.EfficiencySeries()
+		if len(eff) != ch.NumBanks() {
+			t.Fatalf("efficiency series has %d banks, want %d", len(eff), ch.NumBanks())
+		}
+	}
+	if reads == 0 {
+		t.Fatal("no DRAM reads recorded")
+	}
+}

@@ -1,0 +1,221 @@
+package timing
+
+import (
+	"repro/internal/exec"
+	"repro/internal/ptx"
+)
+
+type stallKind int
+
+const (
+	stallIdle stallKind = iota
+	stallData
+	stallBarrier
+	stallMem
+	numStallKinds
+)
+
+// StallNames labels the warp-issue breakdown categories (W0 variants in
+// the AerialVision warp plots).
+var StallNames = [numStallKinds]string{"W0_idle", "W0_data_hazard", "W0_barrier", "W0_memory"}
+
+// KernelSample records one kernel's timing outcome.
+type KernelSample struct {
+	Name   string
+	Cycles uint64
+	Instrs uint64
+}
+
+// Stats accumulates engine-wide counters and AerialVision time series.
+type Stats struct {
+	interval uint64
+	numSMs   int
+	scheds   int
+
+	Instructions uint64 // warp instructions committed
+	ThreadInstrs uint64 // lane-instructions committed
+
+	ALUOps          uint64
+	SFUOps          uint64
+	L1Accesses      uint64
+	L2Accesses      uint64
+	DRAMAccesses    uint64
+	NoCFlits        uint64
+	SharedAccesses  uint64
+	TextureAccesses uint64
+	MemInstructions uint64
+	MemSegments     uint64
+	MSHRFull        uint64
+	IdleSlotCycles  uint64
+
+	coreIPC   [][]uint64 // [core][bucket] warp instructions issued
+	laneCount [][]uint64 // [active lanes 1..32 -> idx 0..31][bucket]
+	stalls    [numStallKinds][]uint64
+
+	Kernels []KernelSample
+}
+
+func newStats(cfg Config) *Stats {
+	s := &Stats{
+		interval: uint64(cfg.SampleInterval),
+		numSMs:   cfg.NumSMs,
+		scheds:   cfg.SchedulersPerSM,
+		coreIPC:  make([][]uint64, cfg.NumSMs),
+	}
+	s.laneCount = make([][]uint64, 32)
+	return s
+}
+
+func grow(s []uint64, idx uint64) []uint64 {
+	for uint64(len(s)) <= idx {
+		s = append(s, 0)
+	}
+	return s
+}
+
+func (s *Stats) noteIssue(core int, cycle uint64, info exec.StepInfo, lanes int) {
+	s.Instructions++
+	s.ThreadInstrs += uint64(lanes)
+	if info.Instr != nil {
+		switch info.Instr.Op {
+		case ptx.OpSqrt, ptx.OpRsqrt, ptx.OpRcp, ptx.OpLg2, ptx.OpEx2, ptx.OpSin, ptx.OpCos:
+			s.SFUOps += uint64(lanes)
+		default:
+			s.ALUOps += uint64(lanes)
+		}
+	}
+	if s.interval == 0 {
+		return
+	}
+	b := cycle / s.interval
+	s.coreIPC[core] = grow(s.coreIPC[core], b)
+	s.coreIPC[core][b]++
+	if lanes >= 1 {
+		idx := lanes - 1
+		s.laneCount[idx] = grow(s.laneCount[idx], b)
+		s.laneCount[idx][b]++
+	}
+}
+
+func (s *Stats) noteStall(core int, cycle uint64, k stallKind) {
+	if k == stallIdle {
+		s.IdleSlotCycles++
+	}
+	if s.interval == 0 {
+		return
+	}
+	b := cycle / s.interval
+	s.stalls[k] = grow(s.stalls[k], b)
+	s.stalls[k][b]++
+}
+
+// addIdleBulk charges fast-forwarded cycles to the memory-stall category
+// (the machine was waiting on outstanding memory when it fast-forwards).
+func (s *Stats) addIdleBulk(from, span uint64, cfg Config) {
+	slots := span * uint64(cfg.NumSMs*cfg.SchedulersPerSM)
+	s.IdleSlotCycles += slots
+	if s.interval == 0 {
+		return
+	}
+	for c := from; c < from+span; c += s.interval {
+		b := c / s.interval
+		width := s.interval - c%s.interval
+		if c+width > from+span {
+			width = from + span - c
+		}
+		s.stalls[stallMem] = grow(s.stalls[stallMem], b)
+		s.stalls[stallMem][b] += width * uint64(cfg.NumSMs*cfg.SchedulersPerSM)
+	}
+}
+
+func (s *Stats) noteKernel(name string, cycles, instrs uint64) {
+	s.Kernels = append(s.Kernels, KernelSample{Name: name, Cycles: cycles, Instrs: instrs})
+}
+
+// Interval returns the sample bucket width in cycles.
+func (s *Stats) Interval() uint64 { return s.interval }
+
+// GlobalIPCSeries returns total warp instructions per bucket across all
+// shaders divided by the bucket width (the paper's global IPC plot).
+func (s *Stats) GlobalIPCSeries() []float64 {
+	n := 0
+	for _, c := range s.coreIPC {
+		if len(c) > n {
+			n = len(c)
+		}
+	}
+	out := make([]float64, n)
+	for _, c := range s.coreIPC {
+		for i, v := range c {
+			out[i] += float64(v)
+		}
+	}
+	for i := range out {
+		out[i] /= float64(s.interval)
+	}
+	return out
+}
+
+// ShaderIPCSeries returns per-core instructions per cycle per bucket
+// (the paper's shader IPC plot: y-axis is the shader core number).
+func (s *Stats) ShaderIPCSeries() [][]float64 {
+	out := make([][]float64, len(s.coreIPC))
+	for c := range s.coreIPC {
+		out[c] = make([]float64, len(s.coreIPC[c]))
+		for i, v := range s.coreIPC[c] {
+			out[c][i] = float64(v) / float64(s.interval)
+		}
+	}
+	return out
+}
+
+// WarpIssueBreakdown returns the warp plot series: first the W0 stall
+// categories, then W1..W32 (issued warps by active lane count), per
+// bucket, as fractions of issue slots.
+func (s *Stats) WarpIssueBreakdown() (names []string, series [][]float64) {
+	n := 0
+	for _, st := range s.stalls {
+		if len(st) > n {
+			n = len(st)
+		}
+	}
+	for _, lc := range s.laneCount {
+		if len(lc) > n {
+			n = len(lc)
+		}
+	}
+	slotsPerBucket := float64(s.interval) * float64(s.numSMs*s.scheds)
+	for k := stallKind(0); k < numStallKinds; k++ {
+		names = append(names, StallNames[k])
+		row := make([]float64, n)
+		for i, v := range s.stalls[k] {
+			row[i] = float64(v) / slotsPerBucket
+		}
+		series = append(series, row)
+	}
+	for lanes := 1; lanes <= 32; lanes++ {
+		names = append(names, wName(lanes))
+		row := make([]float64, n)
+		for i, v := range s.laneCount[lanes-1] {
+			row[i] = float64(v) / slotsPerBucket
+		}
+		series = append(series, row)
+	}
+	return names, series
+}
+
+func wName(lanes int) string {
+	const digits = "0123456789"
+	if lanes < 10 {
+		return "W" + digits[lanes:lanes+1]
+	}
+	return "W" + digits[lanes/10:lanes/10+1] + digits[lanes%10:lanes%10+1]
+}
+
+// TotalIPC returns whole-run warp IPC over the given cycle span.
+func (s *Stats) TotalIPC(cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(cycles)
+}
