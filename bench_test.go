@@ -5,6 +5,8 @@
 package gpgpusim
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -119,6 +121,40 @@ func BenchmarkFig22FwdWinoNonfusedWarp(b *testing.B) {
 // Figs. 23-25: forward Implicit GEMM warp breakdown and IPC.
 func BenchmarkFig23FwdImplicitGEMMWarp(b *testing.B) {
 	benchConvCase(b, core.Forward, "implicit_gemm")
+}
+
+// BenchmarkParallelWorkers sweeps the timing engine's worker count over a
+// conv forward pass. The simulated result is identical for every worker
+// count (the engine's determinism contract); only the wall-clock ns/op
+// changes, so BENCH_*.json tracks the parallel speedup from the
+// scheduler/issue/memory-stage split onward.
+func BenchmarkParallelWorkers(b *testing.B) {
+	counts := []int{1, 2, 4, runtime.NumCPU()}
+	seen := make(map[int]bool)
+	var baseline uint64
+	for _, w := range counts {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("j%d", w), func(b *testing.B) {
+			var res *core.ConvSampleResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = core.RunConvSampleWorkers(core.GTX1080Ti, core.Forward, "implicit_gemm", core.DefaultConvShape(), w)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if baseline == 0 {
+				baseline = res.Cycles
+			} else if res.Cycles != baseline {
+				b.Fatalf("determinism violated: j%d simulated %d cycles, j1 simulated %d", w, res.Cycles, baseline)
+			}
+			b.ReportMetric(float64(res.Cycles), "sim_cycles")
+			b.ReportMetric(float64(w), "workers")
+		})
+	}
 }
 
 // BenchmarkDebugWorkflow times the §III-D three-step debug flow locating

@@ -21,6 +21,7 @@ func main() {
 	grid := flag.String("grid", "1,1,1", "grid dimensions x,y,z")
 	block := flag.String("block", "32,1,1", "block dimensions x,y,z")
 	perf := flag.Bool("perf", false, "use the Performance simulation mode (GTX 1050)")
+	workers := flag.Int("j", 1, "worker goroutines stepping SM cores in -perf mode (0 = all CPUs); results are identical for any value")
 	args := flag.String("args", "", "comma-separated kernel arguments: bufN (device buffer of N floats), iV (u32), fV (f32)")
 	dump := flag.Int("dump", 8, "floats to dump from each buffer argument after the run")
 	flag.Parse()
@@ -38,7 +39,7 @@ func main() {
 	ctx := cudart.NewContext(exec.BugSet{})
 	var eng *timing.Engine
 	if *perf {
-		eng, err = timing.New(timing.GTX1050())
+		eng, err = timing.New(timing.GTX1050(), timing.WithWorkers(*workers))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

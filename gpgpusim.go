@@ -85,13 +85,22 @@ func NewParams() *Params { return cudart.NewParams() }
 // cuDNN-analog handle.
 func CreateCuDNN(ctx *Context) (*CuDNN, error) { return cudnn.Create(ctx) }
 
+// SimOption configures a timing engine built through this facade.
+type SimOption = timing.Option
+
+// WithWorkers makes the timing engine step SM cores concurrently on n
+// host goroutines (0 selects runtime.NumCPU()). The simulation stays
+// deterministic: any worker count reports identical cycle counts and
+// per-kernel statistics.
+func WithWorkers(n int) SimOption { return timing.WithWorkers(n) }
+
 // NewTimingEngine builds a cycle-level engine for a GPU preset.
-func NewTimingEngine(gpu GPU) (*TimingEngine, error) {
+func NewTimingEngine(gpu GPU, opts ...SimOption) (*TimingEngine, error) {
 	cfg, err := gpu.TimingConfig()
 	if err != nil {
 		return nil, err
 	}
-	return timing.New(cfg)
+	return timing.New(cfg, opts...)
 }
 
 // UseTiming switches a context into Performance simulation mode.

@@ -201,6 +201,13 @@ type ConvSampleResult struct {
 // RunConvSample runs one (direction, algorithm) case of §V on the given
 // GPU's timing model.
 func RunConvSample(gpu GPU, dir ConvDirection, algo string, shape ConvSampleShape) (*ConvSampleResult, error) {
+	return RunConvSampleWorkers(gpu, dir, algo, shape, 1)
+}
+
+// RunConvSampleWorkers is RunConvSample with the timing engine stepping
+// SM cores across `workers` host goroutines (0 = NumCPU). Results are
+// identical for any worker count; only wall-clock time changes.
+func RunConvSampleWorkers(gpu GPU, dir ConvDirection, algo string, shape ConvSampleShape, workers int) (*ConvSampleResult, error) {
 	cfg, err := gpu.TimingConfig()
 	if err != nil {
 		return nil, err
@@ -210,7 +217,7 @@ func RunConvSample(gpu GPU, dir ConvDirection, algo string, shape ConvSampleShap
 	if err != nil {
 		return nil, err
 	}
-	eng, err := timing.New(cfg)
+	eng, err := timing.New(cfg, timing.WithWorkers(workers))
 	if err != nil {
 		return nil, err
 	}

@@ -167,16 +167,29 @@ func (c *Context) Malloc(size uint64) (uint64, error) {
 // Free releases device memory (cudaFree).
 func (c *Context) Free(addr uint64) error { return c.Alloc.Free(addr) }
 
+// syncCopy models a blocking memcpy on the legacy default stream, which
+// is device-synchronizing: the copy starts only after every stream's
+// outstanding work, then occupies the copy engine and the host.
+func (c *Context) syncCopy(n int) {
+	t := &c.timeline
+	for _, ss := range c.streams {
+		if ss.readyAt > t.now {
+			t.now = ss.readyAt
+		}
+	}
+	t.memcpy(c.streams[DefaultStream], n)
+}
+
 // MemcpyHtoD copies host bytes to device (cudaMemcpy HostToDevice).
 func (c *Context) MemcpyHtoD(dst uint64, src []byte) {
 	c.Mem.Write(dst, src)
-	c.timeline.memcpy(DefaultStream, len(src))
+	c.syncCopy(len(src))
 }
 
 // MemcpyDtoH copies device bytes to host.
 func (c *Context) MemcpyDtoH(dst []byte, src uint64) {
 	c.Mem.Read(src, dst)
-	c.timeline.memcpy(DefaultStream, len(dst))
+	c.syncCopy(len(dst))
 }
 
 // MemcpyDtoD copies device to device.
@@ -184,7 +197,7 @@ func (c *Context) MemcpyDtoD(dst, src uint64, n int) {
 	buf := make([]byte, n)
 	c.Mem.Read(src, buf)
 	c.Mem.Write(dst, buf)
-	c.timeline.memcpy(DefaultStream, n)
+	c.syncCopy(n)
 }
 
 // Memset fills n bytes at dst with value b (cudaMemset).

@@ -37,7 +37,25 @@ func (t *timeline) bw() float64 {
 	return t.copyBWBytes
 }
 
-func (t *timeline) memcpy(s Stream, n int) {}
+// occupy books an n-byte transfer on the copy engine for a stream: the
+// transfer waits for the stream's prior work and the copy engine, then
+// occupies both for its duration. It returns the completion time. This is
+// the §III-B stream-overlap model: back-to-back copies serialise on the
+// copy engine while kernels on other streams keep running.
+func (t *timeline) occupy(ss *streamState, n int) float64 {
+	start := maxF(ss.readyAt, t.copyEngineAt, t.now)
+	end := start + float64(n)/t.bw()
+	ss.readyAt = end
+	t.copyEngineAt = end
+	return end
+}
+
+// memcpy models a synchronous cudaMemcpy: like the async variant it rides
+// the copy engine, but it also blocks the host, so the host-side issue
+// clock advances past the completion.
+func (t *timeline) memcpy(ss *streamState, n int) {
+	t.now = t.occupy(ss, n)
+}
 
 // StreamCreate returns a new stream.
 func (c *Context) StreamCreate() Stream {
@@ -143,11 +161,7 @@ func (c *Context) MemcpyHtoDAsync(dst uint64, src []byte, s Stream) error {
 		return errBadStream(s)
 	}
 	c.Mem.Write(dst, src)
-	t := &c.timeline
-	start := maxF(ss.readyAt, t.copyEngineAt, t.now)
-	dur := float64(len(src)) / t.bw()
-	ss.readyAt = start + dur
-	t.copyEngineAt = start + dur
+	c.timeline.occupy(ss, len(src))
 	return nil
 }
 
@@ -158,11 +172,7 @@ func (c *Context) MemcpyDtoHAsync(dst []byte, src uint64, s Stream) error {
 		return errBadStream(s)
 	}
 	c.Mem.Read(src, dst)
-	t := &c.timeline
-	start := maxF(ss.readyAt, t.copyEngineAt, t.now)
-	dur := float64(len(dst)) / t.bw()
-	ss.readyAt = start + dur
-	t.copyEngineAt = start + dur
+	c.timeline.occupy(ss, len(dst))
 	return nil
 }
 

@@ -1,0 +1,54 @@
+package cudart_test
+
+import (
+	"testing"
+
+	"repro/internal/cudart"
+	"repro/internal/exec"
+)
+
+// TestSyncMemcpyOccupiesTimeline checks that synchronous cudaMemcpy now
+// occupies the copy engine and advances the default stream's ready time —
+// the §III-B stream-overlap fix was previously a no-op for sync copies.
+func TestSyncMemcpyOccupiesTimeline(t *testing.T) {
+	ctx := cudart.NewContext(exec.BugSet{})
+	const n = 1 << 20
+	addr, err := ctx.Malloc(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.ModelTime() != 0 {
+		t.Fatalf("fresh context model time = %v, want 0", ctx.ModelTime())
+	}
+	ctx.MemcpyHtoD(addr, make([]byte, n))
+	t1 := ctx.ModelTime()
+	if t1 <= 0 {
+		t.Fatal("synchronous H2D copy did not occupy the copy engine")
+	}
+	// a second copy serialises after the first: strictly increasing time
+	ctx.MemcpyDtoH(make([]byte, n), addr)
+	t2 := ctx.ModelTime()
+	if t2 <= t1 {
+		t.Fatalf("second copy did not extend the timeline: %v -> %v", t1, t2)
+	}
+	// device-to-device also rides the copy engine
+	dst, err := ctx.Malloc(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.MemcpyDtoD(dst, addr, n)
+	if ctx.ModelTime() <= t2 {
+		t.Fatal("DtoD copy did not extend the timeline")
+	}
+	// an async copy on another stream must start after the sync copies
+	// released the copy engine, not overlap them
+	s := ctx.StreamCreate()
+	before := ctx.ModelTime()
+	if err := ctx.MemcpyHtoDAsync(addr, make([]byte, n), s); err != nil {
+		t.Fatal(err)
+	}
+	ctx.DeviceSynchronize()
+	if ctx.ModelTime() <= before {
+		t.Fatal("async copy after sync copies did not serialise on the copy engine")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Address-space windows for generic addressing. A generic 64-bit address
@@ -36,7 +37,16 @@ const pageBits = 12
 const pageSize = 1 << pageBits
 
 // Memory is a sparse, page-backed global memory image.
+//
+// The page *directory* (the map from page number to backing slice) is
+// guarded by a lock so concurrent warps — the parallel timing engine steps
+// SM cores on multiple goroutines — can fault in pages safely. The page
+// *contents* are intentionally unguarded: simulated threads of a data-
+// race-free kernel touch disjoint bytes, and racy kernels are racy on
+// real hardware too. Cross-CTA atomics are serialised by the timing
+// engine itself (deferred-atomic drain), not here.
 type Memory struct {
+	mu    sync.RWMutex
 	pages map[uint64][]byte
 }
 
@@ -45,12 +55,23 @@ func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint64][]byte)}
 }
 
+// page returns the backing slice for a page number. With create, a missing
+// page is faulted in under the write lock; the double-checked lookup keeps
+// the common resident-page path on the read lock only.
 func (m *Memory) page(pn uint64, create bool) []byte {
-	p, ok := m.pages[pn]
-	if !ok && create {
+	m.mu.RLock()
+	p := m.pages[pn]
+	m.mu.RUnlock()
+	if p != nil || !create {
+		return p
+	}
+	m.mu.Lock()
+	p = m.pages[pn]
+	if p == nil {
 		p = make([]byte, pageSize)
 		m.pages[pn] = p
 	}
+	m.mu.Unlock()
 	return p
 }
 
@@ -114,6 +135,8 @@ type Snapshot struct {
 
 // Snapshot captures the current memory image.
 func (m *Memory) Snapshot() *Snapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	s := &Snapshot{}
 	for pn := range m.pages {
 		s.PageNums = append(s.PageNums, pn)
@@ -129,6 +152,8 @@ func (m *Memory) Snapshot() *Snapshot {
 
 // Restore replaces the memory image with the snapshot contents.
 func (m *Memory) Restore(s *Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.pages = make(map[uint64][]byte, len(s.PageNums))
 	for i, pn := range s.PageNums {
 		p := make([]byte, pageSize)
@@ -138,7 +163,11 @@ func (m *Memory) Restore(s *Snapshot) {
 }
 
 // TouchedBytes returns the number of resident bytes (page granularity).
-func (m *Memory) TouchedBytes() int { return len(m.pages) * pageSize }
+func (m *Memory) TouchedBytes() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pages) * pageSize
+}
 
 // Allocator is a simple first-fit device memory allocator handing out
 // addresses above GlobalBase.

@@ -11,6 +11,16 @@ import (
 // single execution entry point for both the fast functional mode and the
 // cycle-level timing model.
 func (m *Machine) StepWarp(c *CTA, w *Warp) (StepInfo, error) {
+	return m.StepWarpCov(c, w, m.cov)
+}
+
+// StepWarpCov is StepWarp with an explicit coverage sink. Concurrent
+// callers stepping disjoint CTAs (the parallel timing engine) pass
+// per-worker Coverage shards so the shared machine-level counters are
+// never written from two goroutines; shards are merged back with
+// Coverage.Merge at kernel boundaries. A nil cov disables coverage
+// recording.
+func (m *Machine) StepWarpCov(c *CTA, w *Warp, cov *Coverage) (StepInfo, error) {
 	var info StepInfo
 	if w.Done {
 		return info, fmt.Errorf("exec: step of retired warp %d", w.ID)
@@ -64,7 +74,9 @@ func (m *Machine) StepWarp(c *CTA, w *Warp) (StepInfo, error) {
 	}
 	info.ActiveMask = execMask
 	w.InstrCount++
-	m.cov.Note(in, execMask)
+	if cov != nil {
+		cov.Note(in, execMask)
+	}
 
 	switch in.Op {
 	case ptx.OpBra:

@@ -1,0 +1,84 @@
+package timing
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+)
+
+// dispatcher issues CTAs from a grid (plus any checkpoint-restored CTAs)
+// onto SM cores, respecting the per-SM occupancy limits. It runs only on
+// the coordinator goroutine, between cycle phases, so dispatch order — and
+// with it every downstream timing decision — is independent of the worker
+// count.
+type dispatcher struct {
+	grid    *exec.Grid
+	maxCTAs int
+	nextCTA int
+	total   int
+	pending []*exec.CTA // checkpoint-preloaded CTAs to place first
+	done    int         // CTAs retired so far
+}
+
+// newDispatcher computes the occupancy limit for the launch: the
+// configured CTA cap, shrunk by shared-memory and warp-slot pressure
+// (GPGPU-Sim's max_cta calculation).
+func newDispatcher(cfg *Config, g *exec.Grid, skipCTAs int, preload []*exec.CTA) (*dispatcher, error) {
+	smemPerCTA := g.SharedBytes()
+	warpsPerCTA := g.NumWarpsPerCTA()
+	if warpsPerCTA > cfg.MaxWarpsPerSM {
+		return nil, fmt.Errorf("timing: CTA needs %d warps, SM holds %d", warpsPerCTA, cfg.MaxWarpsPerSM)
+	}
+	maxCTAs := cfg.MaxCTAsPerSM
+	if smemPerCTA > 0 {
+		bySmem := cfg.SharedMemPerSM / smemPerCTA
+		if bySmem == 0 {
+			return nil, fmt.Errorf("timing: CTA needs %d B shared memory, SM has %d", smemPerCTA, cfg.SharedMemPerSM)
+		}
+		if bySmem < maxCTAs {
+			maxCTAs = bySmem
+		}
+	}
+	byWarps := cfg.MaxWarpsPerSM / warpsPerCTA
+	if byWarps < maxCTAs {
+		maxCTAs = byWarps
+	}
+	d := &dispatcher{
+		grid:    g,
+		maxCTAs: maxCTAs,
+		nextCTA: skipCTAs + len(preload),
+		total:   g.NumCTAs(),
+		pending: append([]*exec.CTA(nil), preload...),
+		done:    skipCTAs,
+	}
+	return d, nil
+}
+
+// fill tops up every core with CTAs until the occupancy limit or the grid
+// is exhausted. Cores are visited in id order (deterministic).
+func (d *dispatcher) fill(cores []*smCore) {
+	g := d.grid
+	for _, c := range cores {
+		for len(c.slots) < d.maxCTAs && (len(d.pending) > 0 || d.nextCTA < d.total) {
+			var cta *exec.CTA
+			if len(d.pending) > 0 {
+				cta = d.pending[0]
+				d.pending = d.pending[1:]
+			} else {
+				cta = g.InitCTA(d.nextCTA)
+				d.nextCTA++
+			}
+			slot := &ctaSlot{cta: cta}
+			for _, w := range cta.Warps {
+				slot.warps = append(slot.warps, &warpCtx{
+					cta: cta, warp: w,
+					regReady: make([]uint64, g.Kernel.NumSlots),
+				})
+			}
+			c.addCTA(slot)
+		}
+	}
+}
+
+// finished reports whether every CTA of the grid has retired.
+func (d *dispatcher) finished() bool { return d.done >= d.total }

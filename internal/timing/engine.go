@@ -2,34 +2,65 @@ package timing
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/cache"
 	"repro/internal/cudart"
 	"repro/internal/dram"
 	"repro/internal/exec"
-	"repro/internal/ptx"
 )
 
 // Engine is the cycle-level performance model. It persists across kernel
 // launches so the AerialVision time series span a whole application run,
 // exactly like the plots in the paper's §V.
+//
+// The engine is organised as a parallel event-driven pipeline. Each cycle
+// runs in phases separated by barriers:
+//
+//	issue stage   — every SM core schedules and issues independently
+//	                (parallel across cores; only core-owned state)
+//	atomic drain  — deferred atomics execute sequentially in core order
+//	memory stage  — partitions service queued L2/DRAM traffic in
+//	                canonical order (parallel across partitions)
+//	apply + CTA   — completion times fold back into the scoreboards
+//	                (parallel across cores); the dispatcher refills cores
+//
+// All cross-core interactions live in the ordered phases, so the reported
+// cycle counts and statistics are bit-identical for every worker count.
 type Engine struct {
-	cfg   Config
-	cores []*smCore
-	parts []*partition
-	cycle uint64
-	stats *Stats
+	cfg     Config
+	cores   []*smCore
+	parts   []*partition
+	cycle   uint64
+	stats   *Stats
+	workers int
+	pool    *pool // cached across launches; rebuilt when the count changes
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers sets how many host worker goroutines step SM cores
+// concurrently. 1 (the default) runs fully inline; n <= 0 selects
+// runtime.NumCPU(). Any value produces identical simulation results.
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n <= 0 {
+			n = runtime.NumCPU()
+		}
+		e.workers = n
+	}
 }
 
 // New builds an engine for a machine configuration.
-func New(cfg Config) (*Engine, error) {
-	e := &Engine{cfg: cfg, stats: newStats(cfg)}
+func New(cfg Config, opts ...Option) (*Engine, error) {
+	e := &Engine{cfg: cfg, stats: newStats(cfg), workers: 1}
 	for i := 0; i < cfg.NumSMs; i++ {
 		l1, err := cache.New(cfg.L1)
 		if err != nil {
 			return nil, err
 		}
-		e.cores = append(e.cores, &smCore{id: i, eng: e, l1: l1})
+		e.cores = append(e.cores, newCore(i, e, l1))
 	}
 	for i := 0; i < cfg.NumPartitions; i++ {
 		l2, err := cache.New(cfg.L2)
@@ -40,6 +71,9 @@ func New(cfg Config) (*Engine, error) {
 			id: i, l2: l2,
 			ch: dram.NewChannel(cfg.DRAM, uint64(cfg.SampleInterval)),
 		})
+	}
+	for _, o := range opts {
+		o(e)
 	}
 	return e, nil
 }
@@ -53,6 +87,17 @@ func (e *Engine) Stats() *Stats { return e.stats }
 // Cycle returns the current cycle.
 func (e *Engine) Cycle() uint64 { return e.cycle }
 
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// SetWorkers changes the worker count for subsequent kernel launches.
+func (e *Engine) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	e.workers = n
+}
+
 // Partitions exposes the DRAM channels (for the aerial plots).
 func (e *Engine) Partitions() []*dram.Channel {
 	out := make([]*dram.Channel, len(e.parts))
@@ -62,158 +107,125 @@ func (e *Engine) Partitions() []*dram.Channel {
 	return out
 }
 
-type partition struct {
-	id int
-	l2 *cache.Cache
-	ch *dram.Channel
-}
-
-// warpCtx is the per-warp pipeline state.
-type warpCtx struct {
-	cta        *exec.CTA
-	warp       *exec.Warp
-	regReady   []uint64 // per register slot
-	minIssueAt uint64   // structural stall (atomics, retry delays)
-	lastIssue  uint64
-}
-
-type ctaSlot struct {
-	cta   *exec.CTA
-	warps []*warpCtx
-	done  bool
-}
-
-type smCore struct {
-	id    int
-	eng   *Engine
-	l1    *cache.Cache
-	slots []*ctaSlot
-	// round-robin pointer per scheduler
-	rr []int
-	// lastMissDone approximates MSHR-full retry latency.
-	lastMissDone uint64
-}
-
-func (c *smCore) liveWarps() int {
-	n := 0
-	for _, s := range c.slots {
-		for _, w := range s.warps {
-			if !w.warp.Done {
-				n++
-			}
-		}
-	}
-	return n
-}
-
 // KernelStats is re-exported for convenience.
 type KernelStats = cudart.KernelStats
 
 // Runner adapts the engine to cudart.Runner — installing it on a context
 // switches the context into the paper's Performance simulation mode.
-type Runner struct{ E *Engine }
+type Runner struct {
+	E *Engine
+	// Workers overrides the engine's worker count for launches made
+	// through this runner: 0 keeps the engine's setting, a negative
+	// value selects runtime.NumCPU().
+	Workers int
+}
 
 // RunKernel implements cudart.Runner.
 func (r Runner) RunKernel(g *exec.Grid) (cudart.KernelStats, error) {
-	return r.E.RunGrid(g)
+	return r.E.runGrid(g, 0, nil, r.Workers)
 }
 
 // RunGrid simulates one kernel launch to completion.
 func (e *Engine) RunGrid(g *exec.Grid) (cudart.KernelStats, error) {
-	return e.runGrid(g, 0, nil)
+	return e.runGrid(g, 0, nil, 0)
 }
 
 // RunGridResume simulates a launch whose first skipCTAs blocks already
 // completed before a checkpoint, with `preload` holding mid-flight CTAs
 // restored from checkpoint Data1 (paper §III-F resume flow, Fig. 5).
 func (e *Engine) RunGridResume(g *exec.Grid, skipCTAs int, preload []*exec.CTA) (cudart.KernelStats, error) {
-	return e.runGrid(g, skipCTAs, preload)
+	return e.runGrid(g, skipCTAs, preload, 0)
 }
 
-func (e *Engine) runGrid(g *exec.Grid, skipCTAs int, preload []*exec.CTA) (cudart.KernelStats, error) {
+func (e *Engine) runGrid(g *exec.Grid, skipCTAs int, preload []*exec.CTA, workers int) (cudart.KernelStats, error) {
 	m := g.Machine()
 	start := e.cycle
 	startInstr := e.stats.Instructions
 
-	smemPerCTA := g.SharedBytes()
-	warpsPerCTA := g.NumWarpsPerCTA()
-	if warpsPerCTA > e.cfg.MaxWarpsPerSM {
-		return cudart.KernelStats{}, fmt.Errorf("timing: CTA needs %d warps, SM holds %d", warpsPerCTA, e.cfg.MaxWarpsPerSM)
+	disp, err := newDispatcher(&e.cfg, g, skipCTAs, preload)
+	if err != nil {
+		return cudart.KernelStats{}, err
 	}
-	maxCTAs := e.cfg.MaxCTAsPerSM
-	if smemPerCTA > 0 {
-		bySmem := e.cfg.SharedMemPerSM / smemPerCTA
-		if bySmem == 0 {
-			return cudart.KernelStats{}, fmt.Errorf("timing: CTA needs %d B shared memory, SM has %d", smemPerCTA, e.cfg.SharedMemPerSM)
-		}
-		if bySmem < maxCTAs {
-			maxCTAs = bySmem
-		}
-	}
-	byWarps := e.cfg.MaxWarpsPerSM / warpsPerCTA
-	if byWarps < maxCTAs {
-		maxCTAs = byWarps
-	}
-
-	nextCTA := skipCTAs
-	total := g.NumCTAs()
 	for _, c := range e.cores {
-		c.rr = make([]int, e.cfg.SchedulersPerSM)
-	}
-	pending := append([]*exec.CTA(nil), preload...)
-	nextCTA += len(pending)
-	issueCTAs := func() {
-		for _, c := range e.cores {
-			for len(c.slots) < maxCTAs && (len(pending) > 0 || nextCTA < total) {
-				var cta *exec.CTA
-				if len(pending) > 0 {
-					cta = pending[0]
-					pending = pending[1:]
-				} else {
-					cta = g.InitCTA(nextCTA)
-					nextCTA++
-				}
-				slot := &ctaSlot{cta: cta}
-				for _, w := range cta.Warps {
-					slot.warps = append(slot.warps, &warpCtx{
-						cta: cta, warp: w,
-						regReady: make([]uint64, g.Kernel.NumSlots),
-					})
-				}
-				c.slots = append(c.slots, slot)
-			}
+		for i := range c.scheds {
+			c.scheds[i].rr = 0
 		}
+		c.stats.rebase(e.cycle)
 	}
-	issueCTAs()
+	disp.fill(e.cores)
 
-	ctasDone := skipCTAs
+	if workers == 0 {
+		workers = e.workers
+	} else if workers < 0 {
+		workers = runtime.NumCPU()
+	}
+	p := e.getPool(workers)
+
+	nCores := len(e.cores)
+	nParts := len(e.parts)
 	deadline := e.cycle + 2_000_000_000 // runaway guard
-	for ctasDone < total {
+	for !disp.finished() {
 		if e.cycle > deadline {
+			e.abortKernel(m)
 			return cudart.KernelStats{}, fmt.Errorf("timing: kernel %s exceeded cycle budget (deadlock?)", g.Kernel.Name)
 		}
-		progressAt := uint64(^uint64(0))
+		now := e.cycle
+
+		// Phase 1: parallel issue stage.
+		p.run(nCores, func(i int) { e.cores[i].stageIssue(m, now) })
+
 		anyIssued := false
+		anyMem := false
+		progressAt := uint64(^uint64(0))
 		for _, c := range e.cores {
-			issued, nextAt := c.step(m)
-			if issued {
-				anyIssued = true
-			} else if nextAt < progressAt {
-				progressAt = nextAt
+			if c.err != nil {
+				e.abortKernel(m)
+				return cudart.KernelStats{}, fmt.Errorf("timing: kernel %s: %w", g.Kernel.Name, c.err)
 			}
-			// retire finished CTAs, release barriers
-			for si := 0; si < len(c.slots); si++ {
-				s := c.slots[si]
-				s.cta.ReleaseBarrier()
-				if !s.done && s.cta.Done() {
-					s.done = true
-					ctasDone++
-					c.slots = append(c.slots[:si], c.slots[si+1:]...)
-					si--
+			// Phase 2: sequential atomic drain, core id order.
+			for _, w := range c.atomQ {
+				if err := c.issue(m, w, now); err != nil {
+					e.abortKernel(m)
+					return cudart.KernelStats{}, fmt.Errorf("timing: kernel %s: %w", g.Kernel.Name, err)
 				}
 			}
+			if c.issuedAny {
+				anyIssued = true
+			} else if c.nextAt < progressAt {
+				progressAt = c.nextAt
+			}
+			if len(c.memQ) > 0 {
+				anyMem = true
+			}
+			disp.done += c.retired
 		}
-		issueCTAs()
+
+		if anyMem {
+			// Bucket this cycle's segments into per-partition queues in
+			// canonical (core id, issue order) order. Runs after the
+			// atomic drain so memQ backing arrays are final and the
+			// queued pointers stay valid.
+			for _, pt := range e.parts {
+				pt.queue = pt.queue[:0]
+			}
+			for _, c := range e.cores {
+				for i := range c.memQ {
+					req := &c.memQ[i]
+					for j := range req.segs {
+						s := &req.segs[j]
+						if !s.merged {
+							e.parts[s.part].queue = append(e.parts[s.part].queue, s)
+						}
+					}
+				}
+			}
+			// Phase 3: parallel partition drain (canonical order inside).
+			p.run(nParts, func(i int) { e.parts[i].drain(&e.cfg) })
+			// Phase 4: parallel scoreboard/L1 apply.
+			p.run(nCores, func(i int) { e.cores[i].applyMem(now) })
+		}
+
+		disp.fill(e.cores)
 		e.cycle++
 		if !anyIssued && progressAt != ^uint64(0) && progressAt > e.cycle {
 			// fast-forward over a fully stalled machine, charging the
@@ -224,6 +236,7 @@ func (e *Engine) runGrid(g *exec.Grid, skipCTAs int, preload []*exec.CTA) (cudar
 		}
 	}
 
+	e.mergeShards(m)
 	stats := cudart.KernelStats{
 		Name:       g.Kernel.Name,
 		GridDim:    g.GridDim,
@@ -235,344 +248,60 @@ func (e *Engine) runGrid(g *exec.Grid, skipCTAs int, preload []*exec.CTA) (cudar
 	return stats, nil
 }
 
-// step advances one core by one cycle. It reports whether any scheduler
-// issued, and otherwise the earliest cycle at which issue may become
-// possible (^uint64(0) if the core has no live warps).
-func (c *smCore) step(m *exec.Machine) (bool, uint64) {
-	e := c.eng
-	now := e.cycle
-	anyIssued := false
-	minNext := ^uint64(0)
-
-	for sched := 0; sched < e.cfg.SchedulersPerSM; sched++ {
-		// gather this scheduler's warps
-		var cands []*warpCtx
-		for _, s := range c.slots {
-			for wi, w := range s.warps {
-				if wi%e.cfg.SchedulersPerSM == sched && !w.warp.Done {
-					cands = append(cands, w)
-				}
-			}
-		}
-		if len(cands) == 0 {
-			e.stats.noteStall(c.id, now, stallIdle)
-			continue
-		}
-		issued := false
-		sawData, sawBarrier, sawMem := false, false, false
-		start := c.rr[sched]
-		for k := 0; k < len(cands); k++ {
-			w := cands[(start+k)%len(cands)]
-			if w.warp.AtBarrier {
-				sawBarrier = true
-				continue
-			}
-			if w.minIssueAt > now {
-				sawMem = true
-				if w.minIssueAt < minNext {
-					minNext = w.minIssueAt
-				}
-				continue
-			}
-			in := m.PeekWarp(w.cta, w.warp)
-			if in == nil {
-				// will retire on next step; issue it to make progress
-				if _, err := m.StepWarp(w.cta, w.warp); err != nil {
-					panic(err)
-				}
-				issued = true
-				c.rr[sched] = (start + k + 1) % len(cands)
-				break
-			}
-			if rdy, at := w.srcReady(in, now); !rdy {
-				sawData = true
-				if at < minNext {
-					minNext = at
-				}
-				continue
-			}
-			if err := c.issue(m, w, now); err != nil {
-				panic(err)
-			}
-			issued = true
-			c.rr[sched] = (start + k + 1) % len(cands)
-			break
-		}
-		if issued {
-			anyIssued = true
-		} else {
-			switch {
-			case sawBarrier:
-				e.stats.noteStall(c.id, now, stallBarrier)
-			case sawData:
-				e.stats.noteStall(c.id, now, stallData)
-			case sawMem:
-				e.stats.noteStall(c.id, now, stallMem)
-			default:
-				e.stats.noteStall(c.id, now, stallIdle)
-			}
+// getPool returns the engine's worker pool, rebuilding it only when the
+// effective worker count changes (cuDNN workloads launch many kernels;
+// spinning goroutines up per launch would be wasted churn). A pool for
+// workers <= 1 holds no goroutines at all. Pools with goroutines are tied
+// to the engine's lifetime by a GC cleanup, so abandoning an Engine
+// without calling Close does not leak them permanently.
+func (e *Engine) getPool(workers int) *pool {
+	if e.pool == nil || e.pool.workers != workers || e.pool.closed.Load() {
+		e.pool.close()
+		e.pool = newPool(workers)
+		if e.pool.jobs != nil {
+			runtime.AddCleanup(e, func(p *pool) { p.close() }, e.pool)
 		}
 	}
-	return anyIssued, minNext
+	return e.pool
 }
 
-// srcReady consults the scoreboard for every source register of in.
-func (w *warpCtx) srcReady(in *ptx.Instr, now uint64) (bool, uint64) {
-	var latest uint64
-	check := func(slot int) {
-		if r := w.regReady[slot]; r > latest {
-			latest = r
-		}
-	}
-	if in.PredReg >= 0 {
-		check(in.PredReg)
-	}
-	for i := range in.Src {
-		o := &in.Src[i]
-		switch o.Kind {
-		case ptx.OperandReg:
-			check(o.Reg)
-		case ptx.OperandMem:
-			if o.Base >= 0 {
-				check(o.Base)
+// Close releases the engine's worker goroutines. It is safe to call more
+// than once and to keep reading Stats/Partitions afterwards; a subsequent
+// kernel launch simply rebuilds the pool.
+func (e *Engine) Close() { e.pool.close() }
+
+// abortKernel restores the engine to a reusable state after a failed
+// launch: the dead kernel's CTAs are dropped from every core and the stat
+// shards are folded in so they cannot be misattributed to the next kernel.
+func (e *Engine) abortKernel(m *exec.Machine) {
+	for _, c := range e.cores {
+		c.slots = c.slots[:0]
+		for i := range c.scheds {
+			sc := &c.scheds[i]
+			for j := range sc.cands {
+				sc.cands[j] = nil
 			}
-		case ptx.OperandVec:
-			for j := range o.Elems {
-				if o.Elems[j].Kind == ptx.OperandReg {
-					check(o.Elems[j].Reg)
-				}
-			}
+			sc.cands = sc.cands[:0]
+			sc.rr = 0
 		}
+		c.memQ = c.memQ[:0]
+		c.atomQ = c.atomQ[:0]
+		c.err = nil
 	}
-	// store address operand lives in Src[0]; dst regs for loads checked
-	// for WAR-free pipelines are skipped (in-order issue makes WAW safe
-	// because writes complete in latency order per class).
-	return latest <= now, latest
+	e.mergeShards(m)
 }
 
-// markDst sets destination registers busy until `ready`.
-func (w *warpCtx) markDst(in *ptx.Instr, ready uint64) {
-	for i := range in.Dst {
-		o := &in.Dst[i]
-		switch o.Kind {
-		case ptx.OperandReg:
-			w.regReady[o.Reg] = ready
-		case ptx.OperandVec:
-			for j := range o.Elems {
-				if o.Elems[j].Kind == ptx.OperandReg {
-					w.regReady[o.Elems[j].Reg] = ready
-				}
-			}
-		}
+// mergeShards folds the per-core and per-partition statistic shards (and
+// the per-core functional coverage shards) into the engine-wide
+// accumulators at a kernel boundary.
+func (e *Engine) mergeShards(m *exec.Machine) {
+	for _, c := range e.cores {
+		e.stats.merge(c.stats)
+		c.stats.reset()
+		m.Coverage().Merge(c.cov)
+		c.cov.Reset()
 	}
-}
-
-func latencyClass(cfg *Config, in *ptx.Instr) (lat int, sfu bool) {
-	switch in.Op {
-	case ptx.OpSqrt, ptx.OpRsqrt, ptx.OpRcp, ptx.OpLg2, ptx.OpEx2, ptx.OpSin, ptx.OpCos:
-		return cfg.SFULat, true
-	case ptx.OpDiv, ptx.OpRem:
-		if in.T.Float() {
-			return cfg.SFULat, true
-		}
-		return cfg.IntDivLat, true
-	case ptx.OpFma, ptx.OpMad:
-		return cfg.ALULat, false
-	default:
-		return cfg.ALULat, false
+	for _, p := range e.parts {
+		p.mergeStats(e.stats)
 	}
-}
-
-// issue executes one warp instruction functionally and models its timing.
-func (c *smCore) issue(m *exec.Machine, w *warpCtx, now uint64) error {
-	e := c.eng
-	info, err := m.StepWarp(w.cta, w.warp)
-	if err != nil {
-		return err
-	}
-	w.lastIssue = now
-	lanes := popcount(info.ActiveMask)
-	e.stats.noteIssue(c.id, now, info, lanes)
-
-	if info.Instr == nil || info.Barrier || info.WarpDone {
-		return nil
-	}
-	in := info.Instr
-
-	if !info.IsMem {
-		lat, sfu := latencyClass(&e.cfg, in)
-		_ = sfu
-		w.markDst(in, now+uint64(lat))
-		return nil
-	}
-
-	switch info.Space {
-	case ptx.SpaceShared:
-		conflict := sharedConflictDegree(&info)
-		lat := uint64(e.cfg.SharedLat + (conflict-1)*2)
-		if info.IsStore {
-			w.minIssueAt = now + uint64(conflict) // port serialization
-		} else {
-			w.markDst(in, now+lat)
-		}
-		e.stats.SharedAccesses++
-	case ptx.SpaceLocal, ptx.SpaceGlobal, ptx.SpaceConst, ptx.SpaceNone:
-		done := c.memAccess(&info, now)
-		if info.IsAtomic {
-			w.minIssueAt = done
-			if len(in.Dst) > 0 {
-				w.markDst(in, done)
-			}
-		} else if info.IsStore {
-			// stores don't block the warp
-		} else {
-			w.markDst(in, done)
-		}
-	case ptx.SpaceTex:
-		// texture fetch: modelled as an L1/texture-cache hit latency
-		w.markDst(in, now+uint64(e.cfg.L1HitLat))
-		e.stats.TextureAccesses++
-	case ptx.SpaceParam:
-		w.markDst(in, now+uint64(e.cfg.ALULat))
-	}
-	return nil
-}
-
-// sharedConflictDegree computes the worst-case bank conflict among active
-// lanes (32 banks of 4-byte words).
-func sharedConflictDegree(info *exec.StepInfo) int {
-	var counts [32]int
-	var seen [32]uint64
-	max := 1
-	for l := 0; l < exec.WarpSize; l++ {
-		if info.ActiveMask&(1<<l) == 0 {
-			continue
-		}
-		bank := (info.Addrs[l] / 4) % 32
-		word := info.Addrs[l] / 4
-		// broadcast: same word does not conflict
-		if counts[bank] > 0 && seen[bank] == word {
-			continue
-		}
-		counts[bank]++
-		seen[bank] = word
-		if counts[bank] > max {
-			max = counts[bank]
-		}
-	}
-	return max
-}
-
-// memAccess coalesces a warp memory operation into 128-byte segments and
-// walks each through L1 -> NoC -> L2 -> DRAM, returning the completion
-// cycle of the last segment.
-func (c *smCore) memAccess(info *exec.StepInfo, now uint64) uint64 {
-	e := c.eng
-	segSize := uint64(e.cfg.L1.LineBytes)
-	var segs []uint64
-	for l := 0; l < exec.WarpSize; l++ {
-		if info.ActiveMask&(1<<l) == 0 {
-			continue
-		}
-		base := info.Addrs[l] &^ (segSize - 1)
-		found := false
-		for _, s := range segs {
-			if s == base {
-				found = true
-				break
-			}
-		}
-		if !found {
-			segs = append(segs, base)
-		}
-		// vector accesses may straddle a segment boundary
-		endSeg := (info.Addrs[l] + uint64(info.AccSize) - 1) &^ (segSize - 1)
-		if endSeg != base {
-			found = false
-			for _, s := range segs {
-				if s == endSeg {
-					found = true
-					break
-				}
-			}
-			if !found {
-				segs = append(segs, endSeg)
-			}
-		}
-	}
-	e.stats.MemInstructions++
-	e.stats.MemSegments += uint64(len(segs))
-
-	latest := now
-	for _, seg := range segs {
-		done := c.segmentAccess(seg, info.IsStore, info.IsAtomic, now)
-		if done > latest {
-			latest = done
-		}
-	}
-	return latest
-}
-
-func (c *smCore) segmentAccess(seg uint64, write, atomic bool, now uint64) uint64 {
-	e := c.eng
-	e.stats.L1Accesses++
-	res, _ := c.l1.Access(seg, write)
-	if res == cache.Hit && !atomic {
-		return now + uint64(e.cfg.L1HitLat)
-	}
-	if res == cache.MissMerged {
-		// ride the in-flight fill
-		if c.lastMissDone > now {
-			return c.lastMissDone
-		}
-		return now + uint64(e.cfg.L1HitLat)
-	}
-	retry := uint64(0)
-	if res == cache.ReservationFail {
-		// model the structural stall as waiting for the oldest miss
-		e.stats.MSHRFull++
-		if c.lastMissDone > now {
-			retry = c.lastMissDone - now
-		}
-	}
-	// traverse NoC to the owning partition
-	p := e.parts[int(seg/uint64(e.cfg.L2.LineBytes))%len(e.parts)]
-	arrive := now + retry + uint64(e.cfg.NoCLat)
-	e.stats.NoCFlits += 1
-	e.stats.L2Accesses++
-	res2, _ := p.l2.Access(seg, write)
-	var done uint64
-	switch res2 {
-	case cache.Hit:
-		done = arrive + uint64(e.cfg.L2Lat)
-	case cache.MissMerged:
-		done = arrive + uint64(e.cfg.L2Lat) + uint64(e.cfg.DRAM.TCL)
-	default: // Miss or ReservationFail: go to DRAM
-		e.stats.DRAMAccesses++
-		done = p.ch.Service(arrive+uint64(e.cfg.L2Lat), seg, write)
-		if res2 == cache.Miss {
-			p.l2.Fill(seg, write)
-		}
-	}
-	// response path
-	done += uint64(e.cfg.NoCLat)
-	e.stats.NoCFlits++
-	if !write && (res == cache.Miss || res == cache.ReservationFail) {
-		c.l1.Fill(seg, false)
-	}
-	if done > c.lastMissDone {
-		c.lastMissDone = done
-	}
-	if atomic {
-		done += uint64(e.cfg.L2Lat) // read-modify-write turnaround at L2
-	}
-	return done
-}
-
-func popcount(m uint32) int {
-	n := 0
-	for ; m != 0; m &= m - 1 {
-		n++
-	}
-	return n
 }

@@ -1,0 +1,80 @@
+package timing
+
+import (
+	"repro/internal/cache"
+	"repro/internal/dram"
+)
+
+// partition is one memory partition: an L2 slice plus a DRAM channel.
+//
+// Ownership contract: the L2 cache and DRAM channel of a partition are
+// only ever touched by the partition's drain, which the engine runs with
+// at most one worker per partition. No locks are needed because the drain
+// walks the cores' request queues in a fixed (core id, issue order)
+// traversal, so the access sequence seen by the L2 and the channel is the
+// same for every worker count — including 1. Anything that would let two
+// workers race on a partition, or make the service order depend on
+// scheduling, breaks both the race-freedom and the determinism guarantee.
+type partition struct {
+	id int
+	l2 *cache.Cache
+	ch *dram.Channel
+
+	// queue holds this cycle's segments, bucketed by the coordinator in
+	// canonical order before the drain phase
+	queue []*segRequest
+
+	// partition-local stat shard, merged into the engine stats at kernel
+	// boundaries
+	l2Accesses   uint64
+	dramAccesses uint64
+	nocFlits     uint64
+}
+
+// partOf routes a line address to its owning partition (line interleaving
+// across partitions, as in GPGPU-Sim's address mapping).
+func (e *Engine) partOf(addr uint64) int {
+	return int(addr/uint64(e.cfg.L2.LineBytes)) % len(e.parts)
+}
+
+// drain services every segment bucketed to this partition this cycle, in
+// canonical order: cores by ascending id, and within a core in issue
+// order (the coordinator builds the queue in exactly that traversal). It
+// writes each segment's completion cycle into the request; the cores fold
+// those into their scoreboards in applyMem.
+func (p *partition) drain(cfg *Config) {
+	for _, s := range p.queue {
+		p.service(s, cfg)
+	}
+}
+
+// service walks one segment through L2 and, on a miss, the DRAM channel.
+func (p *partition) service(s *segRequest, cfg *Config) {
+	p.l2Accesses++
+	res, _ := p.l2.Access(s.addr, s.write)
+	var done uint64
+	switch res {
+	case cache.Hit:
+		done = s.arrive + uint64(cfg.L2Lat)
+	case cache.MissMerged:
+		done = s.arrive + uint64(cfg.L2Lat) + uint64(cfg.DRAM.TCL)
+	default: // Miss or ReservationFail: go to DRAM
+		p.dramAccesses++
+		done = p.ch.Service(s.arrive+uint64(cfg.L2Lat), s.addr, s.write)
+		if res == cache.Miss {
+			p.l2.Fill(s.addr, s.write)
+		}
+	}
+	// response path back across the NoC
+	done += uint64(cfg.NoCLat)
+	p.nocFlits++
+	s.done = done
+}
+
+// mergeStats folds the partition shard into the engine-wide stats.
+func (p *partition) mergeStats(s *Stats) {
+	s.L2Accesses += p.l2Accesses
+	s.DRAMAccesses += p.dramAccesses
+	s.NoCFlits += p.nocFlits
+	p.l2Accesses, p.dramAccesses, p.nocFlits = 0, 0, 0
+}

@@ -1,0 +1,97 @@
+package timing
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pool is a fixed-size worker pool with a cycle-barrier semantic: run()
+// partitions n independent tasks across the workers and returns only when
+// all of them completed. Tasks within one run() call must touch disjoint
+// state (the engine guarantees this by sharding per core / per partition),
+// so the pool provides parallelism without locks.
+//
+// A pool with workers <= 1 degrades to inline sequential execution on the
+// calling goroutine; because every phase the engine parallelises is order-
+// independent by construction, the inline and pooled paths produce
+// identical simulation state.
+type pool struct {
+	workers int
+	jobs    chan poolJob
+	once    sync.Once
+	closed  atomic.Bool
+}
+
+type poolJob struct {
+	f    func(int)
+	next *atomic.Int64
+	n    int
+	wg   *sync.WaitGroup
+}
+
+// newPool starts workers-1 background goroutines (the calling goroutine
+// participates in each run). workers <= 1 starts none.
+func newPool(workers int) *pool {
+	p := &pool{workers: workers}
+	if workers > 1 {
+		p.jobs = make(chan poolJob, workers)
+		for i := 0; i < workers-1; i++ {
+			go func() {
+				for j := range p.jobs {
+					j.run()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+func (j poolJob) run() {
+	for {
+		i := int(j.next.Add(1)) - 1
+		if i >= j.n {
+			break
+		}
+		j.f(i)
+	}
+	j.wg.Done()
+}
+
+// run executes f(0..n-1) across the pool and waits for completion.
+func (p *pool) run(n int, f func(int)) {
+	if p == nil || p.workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	k := p.workers
+	if k > n {
+		k = n
+	}
+	wg.Add(k)
+	j := poolJob{f: f, next: &next, n: n, wg: &wg}
+	for i := 0; i < k-1; i++ {
+		p.jobs <- j
+	}
+	j.run() // the coordinator works too
+	wg.Wait()
+}
+
+// close stops the background workers. Idempotent (it is reached both from
+// Engine.Close and from the engine's GC cleanup); a closed pool reports
+// itself so the engine rebuilds one on the next launch instead of sending
+// on a closed channel.
+func (p *pool) close() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {
+		p.closed.Store(true)
+		if p.jobs != nil {
+			close(p.jobs)
+		}
+	})
+}

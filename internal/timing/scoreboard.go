@@ -1,0 +1,95 @@
+package timing
+
+import (
+	"repro/internal/exec"
+	"repro/internal/ptx"
+)
+
+// warpCtx is the per-warp pipeline state: the warp's functional state plus
+// the scoreboard tracking when each register slot becomes readable and when
+// the warp may issue again after a structural stall. A warpCtx is owned by
+// exactly one SM core (and within it, one scheduler), so it is never
+// touched by two workers concurrently.
+type warpCtx struct {
+	cta        *exec.CTA
+	warp       *exec.Warp
+	regReady   []uint64 // scoreboard: per register slot, cycle it becomes readable
+	minIssueAt uint64   // structural stall (atomics, retry delays)
+}
+
+// srcReady consults the scoreboard for every source register of in. It
+// returns whether all sources are readable at cycle now, and if not the
+// cycle at which the latest one becomes ready.
+func (w *warpCtx) srcReady(in *ptx.Instr, now uint64) (bool, uint64) {
+	var latest uint64
+	check := func(slot int) {
+		if r := w.regReady[slot]; r > latest {
+			latest = r
+		}
+	}
+	if in.PredReg >= 0 {
+		check(in.PredReg)
+	}
+	for i := range in.Src {
+		o := &in.Src[i]
+		switch o.Kind {
+		case ptx.OperandReg:
+			check(o.Reg)
+		case ptx.OperandMem:
+			if o.Base >= 0 {
+				check(o.Base)
+			}
+		case ptx.OperandVec:
+			for j := range o.Elems {
+				if o.Elems[j].Kind == ptx.OperandReg {
+					check(o.Elems[j].Reg)
+				}
+			}
+		}
+	}
+	// store address operand lives in Src[0]; dst regs for loads checked
+	// for WAR-free pipelines are skipped (in-order issue makes WAW safe
+	// because writes complete in latency order per class).
+	return latest <= now, latest
+}
+
+// markDst sets destination registers busy until `ready`.
+func (w *warpCtx) markDst(in *ptx.Instr, ready uint64) {
+	for i := range in.Dst {
+		o := &in.Dst[i]
+		switch o.Kind {
+		case ptx.OperandReg:
+			w.regReady[o.Reg] = ready
+		case ptx.OperandVec:
+			for j := range o.Elems {
+				if o.Elems[j].Kind == ptx.OperandReg {
+					w.regReady[o.Elems[j].Reg] = ready
+				}
+			}
+		}
+	}
+}
+
+func latencyClass(cfg *Config, in *ptx.Instr) (lat int, sfu bool) {
+	switch in.Op {
+	case ptx.OpSqrt, ptx.OpRsqrt, ptx.OpRcp, ptx.OpLg2, ptx.OpEx2, ptx.OpSin, ptx.OpCos:
+		return cfg.SFULat, true
+	case ptx.OpDiv, ptx.OpRem:
+		if in.T.Float() {
+			return cfg.SFULat, true
+		}
+		return cfg.IntDivLat, true
+	case ptx.OpFma, ptx.OpMad:
+		return cfg.ALULat, false
+	default:
+		return cfg.ALULat, false
+	}
+}
+
+func popcount(m uint32) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}

@@ -31,6 +31,12 @@ type Stats struct {
 	interval uint64
 	numSMs   int
 	scheds   int
+	// base is the bucket offset of index 0 in the series below. The
+	// engine-wide accumulator keeps base 0 (absolute buckets); per-core
+	// shards are rebased to the kernel's start bucket each launch so a
+	// shard's series — and the cost of merging it — stays proportional
+	// to the kernel's own length, not to the engine's total run length.
+	base uint64
 
 	Instructions uint64 // warp instructions committed
 	ThreadInstrs uint64 // lane-instructions committed
@@ -87,7 +93,7 @@ func (s *Stats) noteIssue(core int, cycle uint64, info exec.StepInfo, lanes int)
 	if s.interval == 0 {
 		return
 	}
-	b := cycle / s.interval
+	b := cycle/s.interval - s.base
 	s.coreIPC[core] = grow(s.coreIPC[core], b)
 	s.coreIPC[core][b]++
 	if lanes >= 1 {
@@ -104,7 +110,7 @@ func (s *Stats) noteStall(core int, cycle uint64, k stallKind) {
 	if s.interval == 0 {
 		return
 	}
-	b := cycle / s.interval
+	b := cycle/s.interval - s.base
 	s.stalls[k] = grow(s.stalls[k], b)
 	s.stalls[k][b]++
 }
@@ -126,6 +132,77 @@ func (s *Stats) addIdleBulk(from, span uint64, cfg Config) {
 		s.stalls[stallMem] = grow(s.stalls[stallMem], b)
 		s.stalls[stallMem][b] += width * uint64(cfg.NumSMs*cfg.SchedulersPerSM)
 	}
+}
+
+// merge adds another Stats' counters and time series into s. The engine
+// gives each SM core its own shard so the parallel issue stage never
+// contends on (or races over) the shared accumulators; shards are merged
+// here at kernel boundaries. Addition is commutative, so the merged result
+// is independent of worker scheduling.
+func (s *Stats) merge(o *Stats) {
+	s.Instructions += o.Instructions
+	s.ThreadInstrs += o.ThreadInstrs
+	s.ALUOps += o.ALUOps
+	s.SFUOps += o.SFUOps
+	s.L1Accesses += o.L1Accesses
+	s.L2Accesses += o.L2Accesses
+	s.DRAMAccesses += o.DRAMAccesses
+	s.NoCFlits += o.NoCFlits
+	s.SharedAccesses += o.SharedAccesses
+	s.TextureAccesses += o.TextureAccesses
+	s.MemInstructions += o.MemInstructions
+	s.MemSegments += o.MemSegments
+	s.MSHRFull += o.MSHRFull
+	s.IdleSlotCycles += o.IdleSlotCycles
+	for c := range o.coreIPC {
+		s.coreIPC[c] = mergeSeries(s.coreIPC[c], o.coreIPC[c], o.base)
+	}
+	for i := range o.laneCount {
+		s.laneCount[i] = mergeSeries(s.laneCount[i], o.laneCount[i], o.base)
+	}
+	for k := range o.stalls {
+		s.stalls[k] = mergeSeries(s.stalls[k], o.stalls[k], o.base)
+	}
+}
+
+// mergeSeries adds src (whose index 0 is bucket `base`) into dst (absolute
+// buckets).
+func mergeSeries(dst, src []uint64, base uint64) []uint64 {
+	if len(src) == 0 {
+		return dst
+	}
+	dst = grow(dst, base+uint64(len(src)-1))
+	for i, v := range src {
+		dst[base+uint64(i)] += v
+	}
+	return dst
+}
+
+// rebase marks the kernel-start bucket of a per-core shard so its series
+// indices are kernel-relative.
+func (s *Stats) rebase(cycle uint64) {
+	if s.interval > 0 {
+		s.base = cycle / s.interval
+	}
+}
+
+// reset clears a shard for reuse, keeping allocated series storage.
+func (s *Stats) reset() {
+	kernels := s.Kernels
+	interval, numSMs, scheds := s.interval, s.numSMs, s.scheds
+	coreIPC, laneCount, stalls := s.coreIPC, s.laneCount, s.stalls
+	*s = Stats{interval: interval, numSMs: numSMs, scheds: scheds}
+	for i := range coreIPC {
+		coreIPC[i] = coreIPC[i][:0]
+	}
+	for i := range laneCount {
+		laneCount[i] = laneCount[i][:0]
+	}
+	for i := range stalls {
+		stalls[i] = stalls[i][:0]
+	}
+	s.coreIPC, s.laneCount, s.stalls = coreIPC, laneCount, stalls
+	s.Kernels = kernels[:0]
 }
 
 func (s *Stats) noteKernel(name string, cycles, instrs uint64) {
