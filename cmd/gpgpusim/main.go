@@ -22,6 +22,7 @@ func main() {
 	block := flag.String("block", "32,1,1", "block dimensions x,y,z")
 	perf := flag.Bool("perf", false, "use the Performance simulation mode (GTX 1050)")
 	workers := flag.Int("j", 1, "worker goroutines stepping SM cores in -perf mode (0 = all CPUs); results are identical for any value")
+	streams := flag.Int("streams", 1, "in -perf mode, launch the kernel once per stream on N concurrent CUDA streams (each with its own buffers) and report the overlap")
 	args := flag.String("args", "", "comma-separated kernel arguments: bufN (device buffer of N floats), iV (u32), fV (f32)")
 	dump := flag.Int("dump", 8, "floats to dump from each buffer argument after the run")
 	flag.Parse()
@@ -37,15 +38,6 @@ func main() {
 	}
 
 	ctx := cudart.NewContext(exec.BugSet{})
-	var eng *timing.Engine
-	if *perf {
-		eng, err = timing.New(timing.GTX1050(), timing.WithWorkers(*workers))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		ctx.SetRunner(timing.Runner{E: eng})
-	}
 	mod, err := ctx.RegisterModule(string(src))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parse:", err)
@@ -61,53 +53,49 @@ func main() {
 		name = names[0]
 	}
 
-	p := cudart.NewParams()
-	var bufs []uint64
-	var bufLens []int
-	if *args != "" {
-		for _, a := range strings.Split(*args, ",") {
-			a = strings.TrimSpace(a)
-			switch {
-			case strings.HasPrefix(a, "buf"):
-				n, err := strconv.Atoi(a[3:])
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "bad buffer arg %q\n", a)
-					os.Exit(2)
-				}
-				addr, err := ctx.Malloc(uint64(4 * n))
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				init := make([]float32, n)
-				for i := range init {
-					init[i] = float32(i)
-				}
-				ctx.MemcpyF32HtoD(addr, init)
-				p.Ptr(addr)
-				bufs = append(bufs, addr)
-				bufLens = append(bufLens, n)
-			case strings.HasPrefix(a, "i"):
-				v, err := strconv.ParseUint(a[1:], 0, 32)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "bad int arg %q\n", a)
-					os.Exit(2)
-				}
-				p.U32(uint32(v))
-			case strings.HasPrefix(a, "f"):
-				v, err := strconv.ParseFloat(a[1:], 32)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "bad float arg %q\n", a)
-					os.Exit(2)
-				}
-				p.F32(float32(v))
-			default:
-				fmt.Fprintf(os.Stderr, "bad arg %q\n", a)
-				os.Exit(2)
-			}
-		}
+	if *streams > 1 && !*perf {
+		fmt.Fprintln(os.Stderr, "-streams needs -perf (concurrent streams run in the detailed model)")
+		os.Exit(2)
 	}
 
+	if *streams > 1 {
+		// Concurrent-stream mode: one launch per stream, each with its
+		// own buffer set, overlapping in the detailed timing model. The
+		// baseline is a real serialized run of the same workload on a
+		// fresh engine, not the sum of concurrent per-kernel cycles
+		// (those span the overlapped window and would inflate the win).
+		conc, log, cctx, bufs, bufLens, err := runStreamWorkload(string(src), name, *grid, *block, *args, *workers, *streams, true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		serial, _, _, _, _, err := runStreamWorkload(string(src), name, *grid, *block, *args, *workers, *streams, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var instrs uint64
+		for _, k := range log {
+			instrs += k.WarpInstrs
+			fmt.Printf("kernel %s (launch %d): %d cycles, %d warp instructions\n",
+				k.Name, k.LaunchID, k.Cycles, k.WarpInstrs)
+		}
+		fmt.Printf("%d streams: %d total cycles concurrent vs %d serialized (overlap speedup %.2fx), IPC %.2f\n",
+			*streams, conc, serial, float64(serial)/float64(conc), float64(instrs)/float64(conc))
+		dumpBufs(cctx, bufs, bufLens, *dump)
+		return
+	}
+
+	if *perf {
+		eng, err := timing.New(timing.GTX1050(), timing.WithWorkers(*workers))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ctx.SetRunner(timing.Runner{E: eng})
+	}
+
+	p, bufs, bufLens := buildParams(ctx, *args)
 	st, err := ctx.Launch(name, parseDim(*grid), parseDim(*block), p, 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "launch:", err)
@@ -123,10 +111,111 @@ func main() {
 			float64(st.WarpInstrs)/float64(st.Cycles))
 	}
 	fmt.Println()
+	dumpBufs(ctx, bufs, bufLens, *dump)
+}
+
+// runStreamWorkload runs the kernel once per lane on a fresh context and
+// engine — one stream per lane when concurrent, back-to-back on the
+// default stream otherwise — and returns the total engine cycles, the
+// per-kernel stats log, and the first lane's buffers for dumping. All
+// buffer uploads happen before the first launch (synchronous copies are
+// device-synchronizing and would serialise the streams).
+func runStreamWorkload(src, name, grid, block, args string, workers, lanes int, concurrent bool) (uint64, []cudart.KernelStats, *cudart.Context, []uint64, []int, error) {
+	ctx := cudart.NewContext(exec.BugSet{})
+	eng, err := timing.New(timing.GTX1050(), timing.WithWorkers(workers))
+	if err != nil {
+		return 0, nil, nil, nil, nil, err
+	}
+	ctx.SetRunner(timing.Runner{E: eng})
+	if _, err := ctx.RegisterModule(src); err != nil {
+		return 0, nil, nil, nil, nil, err
+	}
+	var allParams []*cudart.Params
+	var firstBufs []uint64
+	var bufLens []int
+	for i := 0; i < lanes; i++ {
+		p, bufs, lens := buildParams(ctx, args)
+		allParams = append(allParams, p)
+		if i == 0 {
+			firstBufs, bufLens = bufs, lens
+		}
+	}
+	start := eng.Cycle()
+	for i := 0; i < lanes; i++ {
+		s := cudart.DefaultStream
+		if concurrent {
+			s = ctx.StreamCreate()
+		}
+		if _, err := ctx.LaunchOnStream(s, name, parseDim(grid), parseDim(block), allParams[i], 0); err != nil {
+			return 0, nil, nil, nil, nil, err
+		}
+	}
+	if err := ctx.DeviceSynchronize(); err != nil {
+		return 0, nil, nil, nil, nil, err
+	}
+	return eng.Cycle() - start, ctx.KernelStatsLog(), ctx, firstBufs, bufLens, nil
+}
+
+// buildParams marshals the -args spec into a parameter buffer, allocating
+// and initialising a fresh device buffer for every bufN argument (so each
+// concurrent stream gets its own working set).
+func buildParams(ctx *cudart.Context, args string) (*cudart.Params, []uint64, []int) {
+	p := cudart.NewParams()
+	var bufs []uint64
+	var bufLens []int
+	if args == "" {
+		return p, bufs, bufLens
+	}
+	for _, a := range strings.Split(args, ",") {
+		a = strings.TrimSpace(a)
+		switch {
+		case strings.HasPrefix(a, "buf"):
+			n, err := strconv.Atoi(a[3:])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad buffer arg %q\n", a)
+				os.Exit(2)
+			}
+			addr, err := ctx.Malloc(uint64(4 * n))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			init := make([]float32, n)
+			for i := range init {
+				init[i] = float32(i)
+			}
+			ctx.MemcpyF32HtoD(addr, init)
+			p.Ptr(addr)
+			bufs = append(bufs, addr)
+			bufLens = append(bufLens, n)
+		case strings.HasPrefix(a, "i"):
+			v, err := strconv.ParseUint(a[1:], 0, 32)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad int arg %q\n", a)
+				os.Exit(2)
+			}
+			p.U32(uint32(v))
+		case strings.HasPrefix(a, "f"):
+			v, err := strconv.ParseFloat(a[1:], 32)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad float arg %q\n", a)
+				os.Exit(2)
+			}
+			p.F32(float32(v))
+		default:
+			fmt.Fprintf(os.Stderr, "bad arg %q\n", a)
+			os.Exit(2)
+		}
+	}
+	return p, bufs, bufLens
+}
+
+// dumpBufs prints the first `dump` floats of each buffer argument.
+func dumpBufs(ctx *cudart.Context, bufs []uint64, bufLens []int, dump int) {
 	for i, addr := range bufs {
 		n := bufLens[i]
-		if n > *dump {
-			n = *dump
+		if n > dump {
+			n = dump
 		}
 		vals := ctx.MemcpyF32DtoH(addr, n)
 		parts := make([]string, n)

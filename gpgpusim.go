@@ -43,6 +43,16 @@ type (
 	Params = cudart.Params
 	// KernelStats summarises one kernel execution.
 	KernelStats = cudart.KernelStats
+	// Stream is a CUDA stream handle. In Performance mode, launches and
+	// async copies on distinct non-default streams execute concurrently
+	// inside the detailed timing model (multi-grid dispatch).
+	Stream = cudart.Stream
+	// Event is a CUDA event handle.
+	Event = cudart.Event
+	// KernelTicket is a handle to a kernel submitted to the timing
+	// engine's concurrent queue via TimingEngine.Submit; stats become
+	// available after TimingEngine.Drain.
+	KernelTicket = timing.Ticket
 	// Dim3 is a CUDA dim3.
 	Dim3 = exec.Dim3
 	// BugSet selects injected functional bugs (zero value = correct).
@@ -75,6 +85,9 @@ const (
 	GTX1080Ti = core.GTX1080Ti
 )
 
+// DefaultStream is the legacy device-synchronizing stream 0.
+const DefaultStream = cudart.DefaultStream
+
 // NewContext creates a functional-mode simulator context.
 func NewContext(bugs BugSet) *Context { return cudart.NewContext(bugs) }
 
@@ -103,7 +116,12 @@ func NewTimingEngine(gpu GPU, opts ...SimOption) (*TimingEngine, error) {
 	return timing.New(cfg, opts...)
 }
 
-// UseTiming switches a context into Performance simulation mode.
+// UseTiming switches a context into Performance simulation mode. The
+// installed runner also models concurrent multi-kernel stream execution:
+// Context.LaunchOnStream and the async memcpys queue on non-default
+// streams and overlap in the detailed model until the next
+// synchronisation point (StreamSynchronize / DeviceSynchronize / any
+// synchronous copy).
 func UseTiming(ctx *Context, e *TimingEngine) { ctx.SetRunner(timing.Runner{E: e}) }
 
 // NewDevice creates a PyTorch-analog device over a fresh simulated GPU.

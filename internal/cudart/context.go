@@ -35,6 +35,39 @@ type Runner interface {
 	RunKernel(g *exec.Grid) (KernelStats, error)
 }
 
+// AsyncTicket is a handle to a kernel submitted to a StreamRunner; its
+// statistics become available after the runner drains.
+type AsyncTicket interface {
+	// Stats returns the kernel's statistics once drained, or the
+	// simulation error if the kernel failed.
+	Stats() (KernelStats, error)
+	// Done reports whether the operation has retired.
+	Done() bool
+}
+
+// StreamRunner is the optional interface of runners that model
+// concurrent multi-kernel stream execution (the detailed timing engine).
+// When a context's runner implements it, launches and async copies on
+// non-default streams are queued on the runner and simulated
+// concurrently at the next synchronisation point; the context's coarse
+// analytical timeline remains only as the fallback for purely
+// functional runners.
+type StreamRunner interface {
+	Runner
+	// SubmitKernel queues a launch on a stream without running it.
+	SubmitKernel(g *exec.Grid, stream int) (AsyncTicket, error)
+	// SubmitCopy queues an n-byte host-device transfer on a stream;
+	// apply performs the functional memory effect when the modelled
+	// transfer completes. The ticket's Stats().Cycles reports the
+	// transfer's copy-engine occupancy.
+	SubmitCopy(stream, bytes int, apply func()) AsyncTicket
+	// DrainAll simulates until every queued operation has retired.
+	DrainAll() error
+	// ClockMHz reports the modelled core clock for cycle → µs
+	// conversion on the context timeline.
+	ClockMHz() float64
+}
+
 // FunctionalRunner runs grids in the fast functional mode (no timing).
 type FunctionalRunner struct{}
 
@@ -96,6 +129,19 @@ type Context struct {
 	captureLog  []*LaunchRecord
 	kernelStats []KernelStats
 	texRefs     map[string]*device.TexRef // host texref handles by symbol
+
+	// async operations queued on a StreamRunner, awaiting a sync point
+	pending  []pendingLaunch
+	asyncErr error // sticky first failure of a drained batch
+}
+
+// pendingLaunch tracks one async operation: the runner's ticket plus,
+// for kernels, the launch-ordered slot reserved in the kernel stats log
+// (logIdx is -1 for copies, which have no log entry).
+type pendingLaunch struct {
+	ticket AsyncTicket
+	logIdx int
+	stream Stream
 }
 
 // NewContext creates a context with a fresh device and functional runner.
@@ -159,6 +205,49 @@ func (c *Context) LookupKernel(name string) (*ptx.Module, *ptx.Kernel, error) {
 	return nil, nil, fmt.Errorf("cudart: no kernel named %q in %d registered modules", name, len(c.modules))
 }
 
+// drainPending runs every queued async operation to completion on the
+// StreamRunner and folds the per-kernel statistics into their reserved
+// slots of the launch-ordered stats log. The first failure is returned
+// and kept sticky (CUDA-style) for the next explicit synchronisation
+// call. A no-op for functional runners and when nothing is pending.
+func (c *Context) drainPending() error {
+	sr, ok := c.runner.(StreamRunner)
+	if !ok || len(c.pending) == 0 {
+		return nil
+	}
+	err := sr.DrainAll()
+	mhz := c.runnerClockMHz()
+	t := &c.timeline
+	for _, p := range c.pending {
+		st, serr := p.ticket.Stats()
+		if serr != nil {
+			if err == nil {
+				err = serr
+			}
+			continue
+		}
+		if p.logIdx >= 0 {
+			entry := &c.kernelStats[p.logIdx]
+			st.Name = entry.Name
+			st.LaunchID = entry.LaunchID
+			*entry = st
+		}
+		// Coarse µs timeline: each stream advances by its operations'
+		// modelled durations — kernels and copies alike (cross-stream
+		// overlap is already reflected in the cycle numbers the
+		// detailed model produced).
+		if ss, ok := c.streams[p.stream]; ok {
+			start := maxF(ss.readyAt, t.now)
+			ss.readyAt = start + float64(st.Cycles)/mhz
+		}
+	}
+	c.pending = c.pending[:0]
+	if err != nil && c.asyncErr == nil {
+		c.asyncErr = err
+	}
+	return err
+}
+
 // Malloc allocates device memory (cudaMalloc).
 func (c *Context) Malloc(size uint64) (uint64, error) {
 	return c.Alloc.Alloc(size)
@@ -180,28 +269,62 @@ func (c *Context) syncCopy(n int) {
 	t.memcpy(c.streams[DefaultStream], n)
 }
 
-// MemcpyHtoD copies host bytes to device (cudaMemcpy HostToDevice).
+// MemcpyHtoD copies host bytes to device (cudaMemcpy HostToDevice). It
+// is device-synchronizing: queued async work drains first; a deferred
+// async failure stays sticky and surfaces at the next StreamSynchronize
+// / DeviceSynchronize / AsyncError call.
 func (c *Context) MemcpyHtoD(dst uint64, src []byte) {
+	_ = c.drainPending()
 	c.Mem.Write(dst, src)
 	c.syncCopy(len(src))
 }
 
-// MemcpyDtoH copies device bytes to host.
+// MemcpyDtoH copies device bytes to host. Like MemcpyHtoD it drains
+// queued async work first; check StreamSynchronize / DeviceSynchronize /
+// AsyncError for deferred failures before trusting the data.
 func (c *Context) MemcpyDtoH(dst []byte, src uint64) {
+	_ = c.drainPending()
 	c.Mem.Read(src, dst)
 	c.syncCopy(len(dst))
 }
 
+// runnerClockMHz reports the modelled core clock for cycle ↔ µs
+// conversion on the coarse stream timeline: the runner's, when it
+// implements StreamRunner and reports one, else DefaultClockMHz. Both
+// the synchronous launch path and the async drain use this, so mixed
+// timelines stay coherent.
+func (c *Context) runnerClockMHz() float64 {
+	if sr, ok := c.runner.(StreamRunner); ok {
+		if m := sr.ClockMHz(); m > 0 {
+			return m
+		}
+	}
+	return DefaultClockMHz
+}
+
+// AsyncError returns (and consumes) the sticky error of a failed async
+// batch, for callers that synchronised implicitly — through a
+// synchronous memcpy, Memset or KernelStatsLog — rather than via
+// StreamSynchronize/DeviceSynchronize, which report it directly.
+func (c *Context) AsyncError() error {
+	err := c.asyncErr
+	c.asyncErr = nil
+	return err
+}
+
 // MemcpyDtoD copies device to device.
 func (c *Context) MemcpyDtoD(dst, src uint64, n int) {
+	_ = c.drainPending()
 	buf := make([]byte, n)
 	c.Mem.Read(src, buf)
 	c.Mem.Write(dst, buf)
 	c.syncCopy(n)
 }
 
-// Memset fills n bytes at dst with value b (cudaMemset).
+// Memset fills n bytes at dst with value b (cudaMemset). Like the sync
+// copies it is device-synchronizing, so queued async work drains first.
 func (c *Context) Memset(dst uint64, b byte, n int) {
+	_ = c.drainPending()
 	buf := make([]byte, n)
 	if b != 0 {
 		for i := range buf {
@@ -241,11 +364,16 @@ func (c *Context) SetAPITag(tag string) { c.apiTag = tag }
 // CapturedLaunches returns the captured launch records.
 func (c *Context) CapturedLaunches() []*LaunchRecord { return c.captureLog }
 
-// KernelStatsLog returns per-kernel stats in launch order.
-func (c *Context) KernelStatsLog() []KernelStats { return c.kernelStats }
+// KernelStatsLog returns per-kernel stats in launch order, draining any
+// queued async launches first so every entry is final.
+func (c *Context) KernelStatsLog() []KernelStats {
+	_ = c.drainPending()
+	return c.kernelStats
+}
 
 // ResetStats clears accumulated per-kernel statistics and captures.
 func (c *Context) ResetStats() {
+	_ = c.drainPending()
 	c.kernelStats = nil
 	c.captureLog = nil
 	c.launchCount = 0

@@ -59,6 +59,14 @@ func (c *Context) Launch(name string, grid, block exec.Dim3, params *Params, sha
 }
 
 // LaunchOnStream launches a kernel on a specific stream.
+//
+// With a StreamRunner installed (performance mode), a launch on a
+// non-default stream is asynchronous: it queues in the detailed model
+// and executes concurrently with work on other streams at the next
+// synchronisation point. The returned KernelStats then carries only the
+// launch identity (zero cycles); final numbers appear in KernelStatsLog
+// after a sync. Default-stream launches keep the legacy
+// device-synchronizing semantics and run to completion immediately.
 func (c *Context) LaunchOnStream(s Stream, name string, grid, block exec.Dim3, params *Params, sharedBytes int) (KernelStats, error) {
 	mod, k, err := c.LookupKernel(name)
 	if err != nil {
@@ -86,6 +94,28 @@ func (c *Context) launch(s Stream, mod *ptx.Module, k *ptx.Kernel, grid, block e
 	}
 	g, err := c.M.NewGrid(k, grid, block, rawParams, sharedBytes)
 	if err != nil {
+		return KernelStats{}, err
+	}
+
+	// Concurrent-stream path: queue the launch in the detailed model and
+	// reserve its slot in the launch-ordered stats log. Launch capture
+	// needs before/after buffer snapshots, so it forces the sync path.
+	if sr, async := c.runner.(StreamRunner); async && s != DefaultStream && !c.capture {
+		tk, err := sr.SubmitKernel(g, int(s))
+		if err != nil {
+			return KernelStats{}, err
+		}
+		id := c.launchCount
+		c.launchCount++
+		ph := KernelStats{Name: k.Name, LaunchID: id, GridDim: grid, BlockDim: block}
+		c.kernelStats = append(c.kernelStats, ph)
+		c.pending = append(c.pending, pendingLaunch{ticket: tk, logIdx: len(c.kernelStats) - 1, stream: s})
+		return ph, nil
+	}
+
+	// Synchronous path: the legacy default stream is device-synchronizing,
+	// so any queued async work completes first.
+	if err := c.drainPending(); err != nil {
 		return KernelStats{}, err
 	}
 	id := c.launchCount
@@ -119,11 +149,11 @@ func (c *Context) launch(s Stream, mod *ptx.Module, k *ptx.Kernel, grid, block e
 		rec.Stats = stats
 	}
 
-	// Timeline: the kernel occupies the stream for its modelled duration.
+	// Timeline: the kernel occupies the stream for its modelled duration
+	// (Cycles is 0 in functional mode, so this is a no-op there).
 	t := &c.timeline
 	start := maxF(ss.readyAt, t.now)
-	dur := float64(stats.Cycles) / 1400.0 // µs at ~1.4 GHz; 0 in functional mode
-	ss.readyAt = start + dur
+	ss.readyAt = start + float64(stats.Cycles)/c.runnerClockMHz()
 	return stats, nil
 }
 

@@ -30,9 +30,19 @@ type timeline struct {
 	copyBWBytes  float64 // bytes per µs
 }
 
+// DefaultCopyBWBytesPerUs is the fallback copy-engine bandwidth
+// (~12 GB/s, PCIe 3.0 x16) in bytes per microsecond — shared by the
+// analytical timeline here and the detailed model's copy engine so the
+// two stay consistent.
+const DefaultCopyBWBytesPerUs = 12e3
+
+// DefaultClockMHz is the fallback core clock for cycle ↔ µs conversion
+// when the runner does not report one.
+const DefaultClockMHz = 1400
+
 func (t *timeline) bw() float64 {
 	if t.copyBWBytes == 0 {
-		return 12e3 // ~12 GB/s PCIe 3.0 x16 in bytes/µs
+		return DefaultCopyBWBytesPerUs
 	}
 	return t.copyBWBytes
 }
@@ -65,9 +75,11 @@ func (c *Context) StreamCreate() Stream {
 	return s
 }
 
-// StreamDestroy removes a stream.
+// StreamDestroy removes a stream (draining its queued work first, like
+// cudaStreamDestroy on a stream with outstanding operations).
 func (c *Context) StreamDestroy(s Stream) {
 	if s != DefaultStream {
+		_ = c.drainPending()
 		delete(c.streams, s)
 	}
 }
@@ -80,8 +92,12 @@ func (c *Context) EventCreate() Event {
 	return e
 }
 
-// EventRecord records the event at the stream's current ready time.
+// EventRecord records the event at the stream's current ready time
+// (draining queued async work first so the time includes it).
 func (c *Context) EventRecord(e Event, s Stream) error {
+	if err := c.drainPending(); err != nil {
+		return err
+	}
 	es, ok := c.events[e]
 	if !ok {
 		return errBadEvent(e)
@@ -112,9 +128,11 @@ func (c *Context) StreamWaitEvent(s Stream, e Event) error {
 	return nil
 }
 
-// StreamSynchronize blocks until a stream's work completes. In our
-// in-order functional execution this only advances the host clock.
+// StreamSynchronize blocks until a stream's work completes: queued async
+// operations drain through the detailed model (when one is installed)
+// and the host clock advances. Errors from drained kernels surface here.
 func (c *Context) StreamSynchronize(s Stream) error {
+	derr := c.drainPending()
 	ss, ok := c.streams[s]
 	if !ok {
 		return errBadStream(s)
@@ -122,16 +140,30 @@ func (c *Context) StreamSynchronize(s Stream) error {
 	if ss.readyAt > c.timeline.now {
 		c.timeline.now = ss.readyAt
 	}
-	return nil
+	// reporting the failure (from this drain, or stored by an earlier
+	// implicit one) consumes the sticky error
+	if derr == nil {
+		derr = c.asyncErr
+	}
+	c.asyncErr = nil
+	return derr
 }
 
-// DeviceSynchronize waits for all streams.
-func (c *Context) DeviceSynchronize() {
+// DeviceSynchronize waits for all streams. Errors from drained async
+// kernels surface here (CUDA-style sticky error reporting: returning
+// the failure consumes it).
+func (c *Context) DeviceSynchronize() error {
+	derr := c.drainPending()
 	for _, ss := range c.streams {
 		if ss.readyAt > c.timeline.now {
 			c.timeline.now = ss.readyAt
 		}
 	}
+	if derr == nil {
+		derr = c.asyncErr
+	}
+	c.asyncErr = nil
+	return derr
 }
 
 // EventElapsed returns the modelled time between two recorded events in
@@ -151,34 +183,58 @@ func (c *Context) EventElapsed(start, end Event) (float64, error) {
 	return b.recordedAt - a.recordedAt, nil
 }
 
-// MemcpyHtoDAsync is an asynchronous host-to-device copy on a stream. The
-// copy happens immediately (in-order functional semantics) but occupies
-// the copy engine and the stream on the model timeline, so overlap with
-// kernels in other streams is reflected in reported times.
+// MemcpyHtoDAsync is an asynchronous host-to-device copy on a stream.
+//
+// With a StreamRunner installed (performance mode) and a non-default
+// stream, the copy is queued into the detailed model: it orders against
+// kernels on its stream, serialises on the modelled copy engine, and its
+// functional memory effect happens when the modelled transfer completes
+// — so copy/kernel overlap shows up in cycle numbers, not just on the
+// coarse µs timeline. Otherwise (functional runner, or the legacy
+// device-synchronizing default stream), the copy happens immediately and
+// only occupies the analytical timeline, as before.
 func (c *Context) MemcpyHtoDAsync(dst uint64, src []byte, s Stream) error {
 	ss, ok := c.streams[s]
 	if !ok {
 		return errBadStream(s)
 	}
+	if sr, async := c.runner.(StreamRunner); async && s != DefaultStream {
+		// The host buffer may be reused before the drain: snapshot it,
+		// matching cudaMemcpyAsync's pageable-memory staging behaviour.
+		staged := append([]byte(nil), src...)
+		tk := sr.SubmitCopy(int(s), len(src), func() { c.Mem.Write(dst, staged) })
+		c.pending = append(c.pending, pendingLaunch{ticket: tk, logIdx: -1, stream: s})
+		return nil
+	}
+	_ = c.drainPending()
 	c.Mem.Write(dst, src)
 	c.timeline.occupy(ss, len(src))
 	return nil
 }
 
-// MemcpyDtoHAsync is the device-to-host analog of MemcpyHtoDAsync.
+// MemcpyDtoHAsync is the device-to-host analog of MemcpyHtoDAsync. The
+// host buffer is only valid after the stream synchronises.
 func (c *Context) MemcpyDtoHAsync(dst []byte, src uint64, s Stream) error {
-	ss, ok := c.streams[s]
+	_, ok := c.streams[s]
 	if !ok {
 		return errBadStream(s)
 	}
+	if sr, async := c.runner.(StreamRunner); async && s != DefaultStream {
+		tk := sr.SubmitCopy(int(s), len(dst), func() { c.Mem.Read(src, dst) })
+		c.pending = append(c.pending, pendingLaunch{ticket: tk, logIdx: -1, stream: s})
+		return nil
+	}
+	_ = c.drainPending()
+	ss := c.streams[s]
 	c.Mem.Read(src, dst)
 	c.timeline.occupy(ss, len(dst))
 	return nil
 }
 
 // ModelTime returns the current modelled elapsed time (µs) assuming all
-// streams have been synchronised.
+// streams have been synchronised (queued async work drains first).
 func (c *Context) ModelTime() float64 {
+	_ = c.drainPending()
 	t := c.timeline.now
 	for _, ss := range c.streams {
 		if ss.readyAt > t {

@@ -23,7 +23,10 @@ func (c *Context) MemcpyToArray(arr *device.CudaArray, data []float32) error {
 }
 
 // MemcpyToArrayFromDevice fills a cudaArray from device memory (f32).
+// Like the other synchronous copies it is device-synchronizing: queued
+// async stream work drains before the device memory is read.
 func (c *Context) MemcpyToArrayFromDevice(arr *device.CudaArray, src uint64, n int) {
+	_ = c.drainPending()
 	buf := make([]byte, 4*n)
 	c.Mem.Read(src, buf)
 	for i := 0; i < n && i < len(arr.Data); i++ {

@@ -1,0 +1,28 @@
+package ptx
+
+// White-box fuzz target for the lexer: any byte soup must either
+// tokenise or return an error — never panic, never loop forever.
+
+import "testing"
+
+func FuzzLex(f *testing.F) {
+	f.Add(".version 6.0\n.target sm_61\n")
+	f.Add("ld.global.f32 %f1, [%rd1+16];")
+	f.Add("mov.f32 %f1, 0f3F800000;")
+	f.Add("// comment\n/* block */ .reg .pred %p<2>;")
+	f.Add("0x1p-3 .0e+9 %%% <<<>>>")
+	f.Add("\x00\xff\"unterminated")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lexPTX(src)
+		if err != nil {
+			return
+		}
+		for _, tok := range toks {
+			if tok.text == "" && tok.kind != tokEOF {
+				// empty non-EOF tokens would wedge the parser's cursor
+				t.Fatalf("lexer produced empty token of kind %d", tok.kind)
+			}
+		}
+	})
+}

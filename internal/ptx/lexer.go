@@ -58,6 +58,9 @@ func lexPTX(src string) ([]token, error) {
 			for l.pos < len(l.src) && l.src[l.pos] != '"' {
 				l.pos++
 			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("ptx: line %d: unterminated string literal", l.line)
+			}
 			l.pos++
 			l.emit(tokString, l.src[start:l.pos])
 		case isIdentStart(c):

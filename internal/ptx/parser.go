@@ -43,8 +43,18 @@ type parser struct {
 	regPrefix map[string]Type // "%f" -> F32 for ranged declarations
 }
 
-func (p *parser) cur() token  { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+// next consumes and returns the current token. The trailing EOF token is
+// sticky: consuming it does not advance, so truncated inputs surface as
+// parse errors instead of out-of-range panics.
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
 
 func (p *parser) errf(format string, args ...interface{}) error {
 	return fmt.Errorf("ptx: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
@@ -240,6 +250,9 @@ func (p *parser) parseBody() error {
 				}
 			case ".pragma", ".maxntid", ".reqntid", ".minnctapersm":
 				for p.cur().kind != tokPunct || p.cur().text != ";" {
+					if p.cur().kind == tokEOF {
+						return p.errf("unexpected EOF in %s directive", t.text)
+					}
 					p.next()
 				}
 				p.next()
@@ -302,6 +315,9 @@ func (p *parser) parseMemDecl(kind string) error {
 		d := p.next().text
 		if d == ".align" {
 			align, _ = strconv.Atoi(p.next().text)
+			if align <= 0 {
+				return p.errf("bad %s alignment", kind)
+			}
 		} else if t, ok := typeByName[strings.TrimPrefix(d, ".")]; ok {
 			et = t
 		}

@@ -1,0 +1,322 @@
+package ref_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ref"
+)
+
+func almost(a, b, tol float32) bool {
+	d := a - b
+	return d >= -tol && d <= tol
+}
+
+// TestConvForwardMatchesIm2ColGemm cross-checks the two independent conv
+// formulations the package provides: direct convolution vs im2col
+// expansion followed by a GEMM with the flattened filters.
+func TestConvForwardMatchesIm2ColGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := ref.TensorShape4{N: 1, C: 3, H: 9, W: 7}
+	k, r := 4, 3
+	p := ref.ConvParams{Stride: 2, Pad: 1}
+	x := make([]float32, xs.Count())
+	for i := range x {
+		x[i] = rng.Float32() - 0.5
+	}
+	w := make([]float32, k*xs.C*r*r)
+	for i := range w {
+		w[i] = rng.Float32() - 0.5
+	}
+	direct, ys := ref.Conv2DForward(x, xs, w, k, r, p)
+
+	cols := ref.Im2Col(x, xs.C, xs.H, xs.W, r, r, ys.H, ys.W, p.Stride, p.Pad)
+	gemmOut := make([]float32, k*ys.H*ys.W)
+	ref.Gemm(w, cols, gemmOut, k, ys.H*ys.W, xs.C*r*r, 1, 0)
+
+	for i := range direct {
+		if !almost(direct[i], gemmOut[i], 1e-4) {
+			t.Fatalf("direct vs im2col+gemm mismatch at %d: %v vs %v", i, direct[i], gemmOut[i])
+		}
+	}
+}
+
+// TestConvBackwardFilterMatchesForwardIdentity checks dw via the
+// definition: dw = d/dw <y, dy> computed by forward perturbation on a
+// tiny problem.
+func TestConvBackwardFilterMatchesForwardIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := ref.TensorShape4{N: 1, C: 1, H: 5, W: 5}
+	k, r := 1, 3
+	p := ref.ConvParams{Stride: 1, Pad: 0}
+	x := make([]float32, xs.Count())
+	for i := range x {
+		x[i] = rng.Float32() - 0.5
+	}
+	w := make([]float32, k*xs.C*r*r)
+	for i := range w {
+		w[i] = rng.Float32() - 0.5
+	}
+	_, ys := ref.Conv2DForward(x, xs, w, k, r, p)
+	dy := make([]float32, ys.Count())
+	for i := range dy {
+		dy[i] = rng.Float32() - 0.5
+	}
+	dw := ref.Conv2DBackwardFilter(x, xs, dy, ys, r, p)
+
+	// numeric gradient for every filter tap
+	const eps = 1e-2
+	for i := range w {
+		wp := append([]float32(nil), w...)
+		wp[i] += eps
+		yp, _ := ref.Conv2DForward(x, xs, wp, k, r, p)
+		wm := append([]float32(nil), w...)
+		wm[i] -= eps
+		ym, _ := ref.Conv2DForward(x, xs, wm, k, r, p)
+		var num float32
+		for j := range dy {
+			num += dy[j] * (yp[j] - ym[j]) / (2 * eps)
+		}
+		if !almost(dw[i], num, 1e-2) {
+			t.Fatalf("dw[%d] = %v, numeric %v", i, dw[i], num)
+		}
+	}
+}
+
+// TestConvBackwardDataAdjoint checks <dy, conv(x)> == <dx, x> for the
+// zero-initialised adjoint pair — backward-data must be the transpose of
+// forward.
+func TestConvBackwardDataAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := ref.TensorShape4{N: 1, C: 2, H: 6, W: 6}
+	k, r := 3, 3
+	p := ref.ConvParams{Stride: 1, Pad: 1}
+	x := make([]float32, xs.Count())
+	for i := range x {
+		x[i] = rng.Float32() - 0.5
+	}
+	w := make([]float32, k*xs.C*r*r)
+	for i := range w {
+		w[i] = rng.Float32() - 0.5
+	}
+	y, ys := ref.Conv2DForward(x, xs, w, k, r, p)
+	dy := make([]float32, ys.Count())
+	for i := range dy {
+		dy[i] = rng.Float32() - 0.5
+	}
+	dx := ref.Conv2DBackwardData(dy, ys, w, xs.C, r, xs, p)
+
+	var lhs, rhs float64
+	for i := range dy {
+		lhs += float64(dy[i]) * float64(y[i])
+	}
+	for i := range x {
+		rhs += float64(dx[i]) * float64(x[i])
+	}
+	if math.Abs(lhs-rhs) > 1e-3 {
+		t.Fatalf("adjoint identity violated: <dy,Ax>=%v but <A'dy,x>=%v", lhs, rhs)
+	}
+}
+
+func TestGemmIdentityAndBeta(t *testing.T) {
+	// multiplying by the identity returns the input; beta accumulates.
+	const n = 4
+	id := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	b := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	c := make([]float32, n*n)
+	ref.Gemm(id, b, c, n, n, n, 1, 0)
+	for i := range b {
+		if c[i] != b[i] {
+			t.Fatalf("I*B mismatch at %d: %v vs %v", i, c[i], b[i])
+		}
+	}
+	ref.Gemm(id, b, c, n, n, n, 1, 1) // c = B + c = 2B
+	for i := range b {
+		if c[i] != 2*b[i] {
+			t.Fatalf("beta accumulate mismatch at %d: %v vs %v", i, c[i], 2*b[i])
+		}
+	}
+}
+
+func TestGemvTMatchesGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows, cols := 6, 5
+	a := make([]float32, rows*cols)
+	x := make([]float32, rows)
+	for i := range a {
+		a[i] = rng.Float32() - 0.5
+	}
+	for i := range x {
+		x[i] = rng.Float32() - 0.5
+	}
+	y := make([]float32, cols)
+	ref.GemvT(a, x, y, rows, cols, 1, 0)
+	// Aᵀx as a 1-row GEMM: (xᵀ A)
+	want := make([]float32, cols)
+	ref.Gemm(x, a, want, 1, cols, rows, 1, 0)
+	for i := range want {
+		if !almost(y[i], want[i], 1e-5) {
+			t.Fatalf("GemvT vs Gemm mismatch at %d: %v vs %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	xs := ref.TensorShape4{N: 1, C: 1, H: 4, W: 4}
+	x := []float32{
+		1, 2, 0, 0,
+		3, 4, 0, 5,
+		0, 0, 9, 8,
+		0, 6, 7, 0,
+	}
+	y, idx, ys := ref.MaxPoolForward(x, xs, 2, 2)
+	if ys.H != 2 || ys.W != 2 {
+		t.Fatalf("bad output shape %+v", ys)
+	}
+	want := []float32{4, 5, 6, 9}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("pool[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	dy := []float32{1, 2, 3, 4}
+	dx := ref.MaxPoolBackward(dy, idx, xs.Count())
+	var sum float32
+	for i, g := range dx {
+		sum += g
+		if g != 0 && x[i] != y[0] && x[i] != y[1] && x[i] != y[2] && x[i] != y[3] {
+			t.Fatalf("gradient scattered to a non-argmax position %d", i)
+		}
+	}
+	if sum != 10 {
+		t.Fatalf("gradient mass %v, want 10", sum)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rows, cols := 5, 7
+	x := make([]float32, rows*cols)
+	for i := range x {
+		x[i] = rng.Float32()*20 - 10 // large logits: exercises max-shift stability
+	}
+	y := ref.Softmax(x, rows, cols)
+	for r := 0; r < rows; r++ {
+		var sum float32
+		for j := 0; j < cols; j++ {
+			v := y[r*cols+j]
+			if v < 0 || v > 1 || v != v {
+				t.Fatalf("prob[%d,%d] = %v out of range", r, j, v)
+			}
+			sum += v
+		}
+		if !almost(sum, 1, 1e-5) {
+			t.Fatalf("row %d sums to %v", r, sum)
+		}
+	}
+}
+
+func TestSoftmaxNLLBackwardAndLoss(t *testing.T) {
+	y := ref.Softmax([]float32{1, 2, 3, 0, 0, 0}, 2, 3)
+	labels := []int32{2, 0}
+	dx := ref.SoftmaxNLLBackward(y, labels, 2, 3)
+	// rows of dx must sum to 0 (softmax gradient) and point away from the label
+	for r := 0; r < 2; r++ {
+		var sum float32
+		for j := 0; j < 3; j++ {
+			sum += dx[r*3+j]
+		}
+		if !almost(sum, 0, 1e-6) {
+			t.Fatalf("dx row %d sums to %v", r, sum)
+		}
+		if dx[r*3+int(labels[r])] >= 0 {
+			t.Fatalf("gradient at the true label must be negative, got %v", dx[r*3+int(labels[r])])
+		}
+	}
+	// uniform predictions give loss log(cols)
+	uni := []float32{1. / 3, 1. / 3, 1. / 3}
+	loss := ref.NLLLoss(uni, []int32{1}, 1, 3)
+	if !almost(loss, float32(math.Log(3)), 1e-5) {
+		t.Fatalf("uniform NLL = %v, want ln 3 = %v", loss, math.Log(3))
+	}
+}
+
+func TestReluAndBackward(t *testing.T) {
+	x := []float32{-1, 0, 2, -0.5, 3}
+	y := ref.Relu(x)
+	want := []float32{0, 0, 2, 0, 3}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("relu[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	dy := []float32{10, 20, 30, 40, 50}
+	dx := ref.ReluBackward(dy, x)
+	wantDx := []float32{0, 0, 30, 0, 50}
+	for i := range wantDx {
+		if dx[i] != wantDx[i] {
+			t.Fatalf("relu'[%d] = %v, want %v", i, dx[i], wantDx[i])
+		}
+	}
+}
+
+func TestLRNForwardBackwardConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c, hw, win := 5, 6, 5
+	k, alpha, beta := float32(2), float32(1e-3), float32(0.75)
+	x := make([]float32, c*hw)
+	for i := range x {
+		x[i] = rng.Float32() - 0.5
+	}
+	y := ref.LRNForward(x, c, hw, win, k, alpha, beta)
+	// with tiny alpha the denominator is ~k^beta: y ≈ x / k^0.75
+	scale := float32(math.Pow(float64(k), float64(beta)))
+	for i := range y {
+		if !almost(y[i]*scale, x[i], 1e-2) {
+			t.Fatalf("LRN[%d] = %v, expected ≈ %v", i, y[i], x[i]/scale)
+		}
+	}
+	dy := make([]float32, len(x))
+	for i := range dy {
+		dy[i] = rng.Float32() - 0.5
+	}
+	dx := ref.LRNBackward(x, y, dy, c, hw, win, k, alpha, beta)
+	if len(dx) != len(x) {
+		t.Fatal("LRNBackward size mismatch")
+	}
+	// tiny alpha: dx ≈ dy / k^beta
+	for i := range dx {
+		if !almost(dx[i]*scale, dy[i], 2e-2) {
+			t.Fatalf("LRN'[%d] = %v, expected ≈ %v", i, dx[i], dy[i]/scale)
+		}
+	}
+}
+
+func TestAddBiasAndArgmax(t *testing.T) {
+	y := make([]float32, 2*3*2) // n=2, c=3, spatial=2
+	ref.AddBias(y, []float32{1, 2, 3}, 2, 3, 2)
+	want := []float32{1, 1, 2, 2, 3, 3, 1, 1, 2, 2, 3, 3}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("AddBias[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	am := ref.Argmax([]float32{0, 5, 2, 9, 1, 0}, 2, 3)
+	if am[0] != 1 || am[1] != 0 {
+		t.Fatalf("Argmax = %v, want [1 0]", am)
+	}
+}
+
+func TestConvOutGeometry(t *testing.T) {
+	p := ref.ConvParams{Stride: 2, Pad: 1}
+	if got := p.ConvOut(28, 5); got != 13 {
+		t.Fatalf("ConvOut(28,5) stride2 pad1 = %d, want 13", got)
+	}
+	if got := (ref.ConvParams{Stride: 1, Pad: 2}).ConvOut(28, 5); got != 28 {
+		t.Fatalf("same-padding ConvOut = %d, want 28", got)
+	}
+}

@@ -38,6 +38,11 @@ type Config struct {
 	// SampleInterval is the AerialVision bucket width in cycles.
 	SampleInterval int
 	ClockMHz       float64
+
+	// CopyBytesPerCycle is the modelled copy-engine bandwidth for
+	// MemcpyHtoDAsync/DtoHAsync routed through the detailed model.
+	// 0 selects ~12 GB/s (PCIe 3.0 x16) at the core clock.
+	CopyBytesPerCycle float64
 }
 
 // GTX1050 approximates the GeForce GTX 1050 (GP107) used for the paper's

@@ -17,6 +17,7 @@ type schedState struct {
 
 type ctaSlot struct {
 	cta   *exec.CTA
+	run   *gridRun // resident grid this CTA belongs to
 	warps []*warpCtx
 	done  bool
 }
@@ -36,17 +37,28 @@ type smCore struct {
 	slots  []*ctaSlot
 	scheds []schedState
 
+	// occupancy bookkeeping for the multi-grid dispatcher: warp contexts
+	// and shared-memory bytes held by resident CTAs of every grid.
+	warpsUsed int
+	smemUsed  int
+
 	// lastMissDone approximates MSHR-full retry latency.
 	lastMissDone uint64
 
-	stats *Stats         // per-core shard, merged at kernel end
+	stats *Stats         // per-core shard, merged at drain boundaries
 	cov   *exec.Coverage // per-core functional coverage shard
 
+	// runInstrs shards warp-instruction counts by resident-grid id so
+	// per-kernel stats stay attributable while several grids share the
+	// core; sized by the engine at the start of every drain.
+	runInstrs []uint64
+
 	// per-cycle outputs, read by the coordinator between phase barriers
-	issuedAny bool
-	nextAt    uint64
-	retired   int
-	err       error
+	issuedAny    bool
+	nextAt       uint64
+	retiredSlots []*ctaSlot
+	err          error
+	errRunID     int
 
 	memQ  []memRequest // memory-stage requests issued this cycle, in issue order
 	atomQ []*warpCtx   // atomics deferred to the coordinator's sequential drain
@@ -69,6 +81,10 @@ func newCore(id int, e *Engine, l1 *cache.Cache) *smCore {
 // distribution).
 func (c *smCore) addCTA(slot *ctaSlot) {
 	c.slots = append(c.slots, slot)
+	c.warpsUsed += len(slot.warps)
+	if slot.run != nil {
+		c.smemUsed += slot.run.smemPerCTA
+	}
 	for wi, w := range slot.warps {
 		sc := &c.scheds[wi%len(c.scheds)]
 		sc.cands = append(sc.cands, w)
@@ -107,8 +123,9 @@ func (c *smCore) removeCTA(slot *ctaSlot) {
 func (c *smCore) stageIssue(m *exec.Machine, now uint64) {
 	c.issuedAny = false
 	c.nextAt = ^uint64(0)
-	c.retired = 0
+	c.retiredSlots = c.retiredSlots[:0]
 	c.err = nil
+	c.errRunID = -1
 	c.memQ = c.memQ[:0]
 	c.atomQ = c.atomQ[:0]
 
@@ -125,7 +142,11 @@ func (c *smCore) stageIssue(m *exec.Machine, now uint64) {
 		s.cta.ReleaseBarrier()
 		if !s.done && s.cta.Done() {
 			s.done = true
-			c.retired++
+			c.retiredSlots = append(c.retiredSlots, s)
+			c.warpsUsed -= len(s.warps)
+			if s.run != nil {
+				c.smemUsed -= s.run.smemPerCTA
+			}
 			c.slots = append(c.slots[:si], c.slots[si+1:]...)
 			si--
 			c.removeCTA(s)
@@ -166,6 +187,7 @@ func (c *smCore) stepScheduler(m *exec.Machine, sched int, now uint64) {
 			// will retire on next step; issue it to make progress
 			if _, err := m.StepWarpCov(w.cta, w.warp, c.cov); err != nil {
 				c.err = err
+				c.errRunID = w.runID
 				return
 			}
 			issued = true
@@ -191,6 +213,7 @@ func (c *smCore) stepScheduler(m *exec.Machine, sched int, now uint64) {
 		}
 		if err := c.issue(m, w, now); err != nil {
 			c.err = err
+			c.errRunID = w.runID
 			return
 		}
 		issued = true
@@ -226,6 +249,9 @@ func (c *smCore) issue(m *exec.Machine, w *warpCtx, now uint64) error {
 	}
 	lanes := popcount(info.ActiveMask)
 	c.stats.noteIssue(c.id, now, info, lanes)
+	if w.runID >= 0 && w.runID < len(c.runInstrs) {
+		c.runInstrs[w.runID]++
+	}
 
 	if info.Instr == nil || info.Barrier || info.WarpDone {
 		return nil

@@ -6,24 +6,30 @@ import (
 	"repro/internal/exec"
 )
 
-// dispatcher issues CTAs from a grid (plus any checkpoint-restored CTAs)
-// onto SM cores, respecting the per-SM occupancy limits. It runs only on
-// the coordinator goroutine, between cycle phases, so dispatch order — and
-// with it every downstream timing decision — is independent of the worker
-// count.
-type dispatcher struct {
-	grid    *exec.Grid
-	maxCTAs int
+// gridRun is one kernel resident in the detailed model: a grid plus its
+// dispatch cursor and per-SM occupancy limit. Several gridRuns can be
+// resident at once — that is how stream-level concurrency appears inside
+// the engine.
+type gridRun struct {
+	grid *exec.Grid
+	op   *Ticket // submission this run belongs to (stats land here)
+	id   int     // dense per-drain id, indexes the cores' instr shards
+
+	maxCTAs     int // per-SM CTA limit for this grid's resource footprint
+	warpsPerCTA int
+	smemPerCTA  int
+
 	nextCTA int
 	total   int
 	pending []*exec.CTA // checkpoint-preloaded CTAs to place first
 	done    int         // CTAs retired so far
 }
 
-// newDispatcher computes the occupancy limit for the launch: the
+// newGridRun computes the per-grid occupancy limit for a launch: the
 // configured CTA cap, shrunk by shared-memory and warp-slot pressure
 // (GPGPU-Sim's max_cta calculation).
-func newDispatcher(cfg *Config, g *exec.Grid, skipCTAs int, preload []*exec.CTA) (*dispatcher, error) {
+func newGridRun(cfg *Config, op *Ticket) (*gridRun, error) {
+	g := op.grid
 	smemPerCTA := g.SharedBytes()
 	warpsPerCTA := g.NumWarpsPerCTA()
 	if warpsPerCTA > cfg.MaxWarpsPerSM {
@@ -43,42 +49,116 @@ func newDispatcher(cfg *Config, g *exec.Grid, skipCTAs int, preload []*exec.CTA)
 	if byWarps < maxCTAs {
 		maxCTAs = byWarps
 	}
-	d := &dispatcher{
-		grid:    g,
-		maxCTAs: maxCTAs,
-		nextCTA: skipCTAs + len(preload),
-		total:   g.NumCTAs(),
-		pending: append([]*exec.CTA(nil), preload...),
-		done:    skipCTAs,
+	r := &gridRun{
+		grid:        g,
+		op:          op,
+		maxCTAs:     maxCTAs,
+		warpsPerCTA: warpsPerCTA,
+		smemPerCTA:  smemPerCTA,
+		nextCTA:     op.skipCTAs + len(op.preload),
+		total:       g.NumCTAs(),
+		pending:     append([]*exec.CTA(nil), op.preload...),
+		done:        op.skipCTAs,
 	}
-	return d, nil
+	return r, nil
 }
 
-// fill tops up every core with CTAs until the occupancy limit or the grid
-// is exhausted. Cores are visited in id order (deterministic).
-func (d *dispatcher) fill(cores []*smCore) {
-	g := d.grid
-	for _, c := range cores {
-		for len(c.slots) < d.maxCTAs && (len(d.pending) > 0 || d.nextCTA < d.total) {
-			var cta *exec.CTA
-			if len(d.pending) > 0 {
-				cta = d.pending[0]
-				d.pending = d.pending[1:]
-			} else {
-				cta = g.InitCTA(d.nextCTA)
-				d.nextCTA++
+// exhausted reports whether the run has no more CTAs to dispatch.
+func (r *gridRun) exhausted() bool { return len(r.pending) == 0 && r.nextCTA >= r.total }
+
+// finished reports whether every CTA of the grid has retired.
+func (r *gridRun) finished() bool { return r.done >= r.total }
+
+// dispatcher assigns CTAs from the resident grids to free SM slots. It
+// runs only on the coordinator goroutine, between cycle phases, so
+// dispatch order — and with it every downstream timing decision — is
+// independent of the worker count.
+//
+// The placement policy is the left-over policy for concurrent kernels:
+// resident grids are visited in submission (stream-ordered) order, and
+// each takes whatever SM capacity the grids ahead of it left over,
+// bounded by its own per-grid shader occupancy limit. With one resident
+// grid this degenerates to the classic single-kernel fill.
+type dispatcher struct {
+	runs []*gridRun // resident grids in submission order
+}
+
+// admit makes a grid resident.
+func (d *dispatcher) admit(r *gridRun) { d.runs = append(d.runs, r) }
+
+// fill tops up the cores with CTAs. Grids are visited in submission
+// order; within a grid, CTAs go round-robin across cores in id order
+// (GPGPU-Sim's issue_block2core rotation, made deterministic), so a
+// small grid spreads over the SMs instead of packing the lowest ids. A
+// CTA is placed only if the core has a free slot, enough warp contexts
+// and shared memory, and the grid is below its own per-SM occupancy
+// limit on that core.
+func (d *dispatcher) fill(cfg *Config, cores []*smCore) {
+	for _, r := range d.runs {
+		placed := true
+		for placed && !r.exhausted() {
+			placed = false
+			for _, c := range cores {
+				if r.exhausted() {
+					break
+				}
+				if !c.canHold(cfg, r) {
+					continue
+				}
+				var cta *exec.CTA
+				if len(r.pending) > 0 {
+					cta = r.pending[0]
+					r.pending = r.pending[1:]
+				} else {
+					cta = r.grid.InitCTA(r.nextCTA)
+					r.nextCTA++
+				}
+				slot := &ctaSlot{cta: cta, run: r}
+				for _, w := range cta.Warps {
+					slot.warps = append(slot.warps, &warpCtx{
+						cta: cta, warp: w, runID: r.id,
+						regReady: make([]uint64, r.grid.Kernel.NumSlots),
+					})
+				}
+				c.addCTA(slot)
+				placed = true
 			}
-			slot := &ctaSlot{cta: cta}
-			for _, w := range cta.Warps {
-				slot.warps = append(slot.warps, &warpCtx{
-					cta: cta, warp: w,
-					regReady: make([]uint64, g.Kernel.NumSlots),
-				})
-			}
-			c.addCTA(slot)
 		}
 	}
 }
 
-// finished reports whether every CTA of the grid has retired.
-func (d *dispatcher) finished() bool { return d.done >= d.total }
+// retire removes finished runs from the resident set, preserving order.
+func (d *dispatcher) retire() {
+	keep := d.runs[:0]
+	for _, r := range d.runs {
+		if !r.finished() {
+			keep = append(keep, r)
+		}
+	}
+	for i := len(keep); i < len(d.runs); i++ {
+		d.runs[i] = nil
+	}
+	d.runs = keep
+}
+
+// canHold reports whether the core has room for one more CTA of run r:
+// a free slot overall, warp-context and shared-memory headroom, and
+// r below its per-grid occupancy cap on this core.
+func (c *smCore) canHold(cfg *Config, r *gridRun) bool {
+	if len(c.slots) >= cfg.MaxCTAsPerSM {
+		return false
+	}
+	if c.warpsUsed+r.warpsPerCTA > cfg.MaxWarpsPerSM {
+		return false
+	}
+	if r.smemPerCTA > 0 && c.smemUsed+r.smemPerCTA > cfg.SharedMemPerSM {
+		return false
+	}
+	n := 0
+	for _, s := range c.slots {
+		if s.run == r {
+			n++
+		}
+	}
+	return n < r.maxCTAs
+}

@@ -27,6 +27,17 @@ import (
 //
 // All cross-core interactions live in the ordered phases, so the reported
 // cycle counts and statistics are bit-identical for every worker count.
+//
+// Kernels are executed through a submission queue: Submit enqueues a
+// launch on a stream, Drain runs the machine until every queued operation
+// retires. Operations on the same stream serialise; operations on
+// different streams become concurrently-resident grids, with CTAs
+// assigned to SMs by the multi-grid dispatcher's left-over policy (see
+// dispatcher.go). Host-device copies ride a modelled copy engine and
+// order against kernels on their stream. All admission, dispatch and
+// retirement decisions happen on the coordinator goroutine in submission
+// order, so concurrent execution preserves the worker-count determinism
+// contract. RunGrid remains as the one-kernel convenience wrapper.
 type Engine struct {
 	cfg     Config
 	cores   []*smCore
@@ -35,6 +46,10 @@ type Engine struct {
 	stats   *Stats
 	workers int
 	pool    *pool // cached across launches; rebuilt when the count changes
+
+	queue         []*Ticket     // submitted, not yet drained operations, in submission order
+	machine       *exec.Machine // machine bound to the pending batch
+	copyBusyUntil uint64        // cycle the modelled copy engine frees up
 }
 
 // Option configures an Engine.
@@ -111,7 +126,9 @@ func (e *Engine) Partitions() []*dram.Channel {
 type KernelStats = cudart.KernelStats
 
 // Runner adapts the engine to cudart.Runner — installing it on a context
-// switches the context into the paper's Performance simulation mode.
+// switches the context into the paper's Performance simulation mode. It
+// also implements cudart.StreamRunner, so async launches and copies on
+// non-default streams execute concurrently inside the detailed model.
 type Runner struct {
 	E *Engine
 	// Workers overrides the engine's worker count for launches made
@@ -125,7 +142,127 @@ func (r Runner) RunKernel(g *exec.Grid) (cudart.KernelStats, error) {
 	return r.E.runGrid(g, 0, nil, r.Workers)
 }
 
-// RunGrid simulates one kernel launch to completion.
+// SubmitKernel implements cudart.StreamRunner: the launch is queued on
+// the stream and simulated at the next Drain.
+func (r Runner) SubmitKernel(g *exec.Grid, stream int) (cudart.AsyncTicket, error) {
+	return r.E.Submit(g, stream)
+}
+
+// SubmitCopy implements cudart.StreamRunner: an n-byte host-device copy
+// queued on the stream; apply runs when the modelled transfer completes.
+func (r Runner) SubmitCopy(stream, bytes int, apply func()) cudart.AsyncTicket {
+	return r.E.SubmitCopy(stream, bytes, apply)
+}
+
+// DrainAll implements cudart.StreamRunner.
+func (r Runner) DrainAll() error { return r.E.drain(r.Workers) }
+
+// ClockMHz implements cudart.StreamRunner (for cycle → µs conversion on
+// the context's coarse stream timeline).
+func (r Runner) ClockMHz() float64 { return r.E.cfg.ClockMHz }
+
+// opKind distinguishes queued operations.
+type opKind uint8
+
+const (
+	opKernel opKind = iota
+	opCopy
+)
+
+// Ticket is a handle to one submitted operation. Kernel tickets carry the
+// per-kernel statistics once the operation has been drained.
+type Ticket struct {
+	kind   opKind
+	stream int
+
+	grid     *exec.Grid
+	skipCTAs int
+	preload  []*exec.CTA
+	run      *gridRun // occupancy precomputed at submit
+
+	copyBytes int
+	copyApply func()
+
+	// prev is the immediately preceding operation on the same stream
+	// within the batch (nil for the stream's first op). Same-stream ops
+	// complete in order, so prev.done means every predecessor is done.
+	prev *Ticket
+
+	admitted   bool
+	startCycle uint64 // kernels: admission cycle; copies: transfer start
+	endCycle   uint64 // copies: modelled completion cycle
+	done       bool
+	stats      cudart.KernelStats
+	err        error
+}
+
+// Done reports whether the operation has retired.
+func (t *Ticket) Done() bool { return t.done }
+
+// Stats returns the kernel statistics. It errors until the engine has
+// drained the ticket, and reports the simulation error if the kernel
+// failed.
+func (t *Ticket) Stats() (cudart.KernelStats, error) {
+	if t.err != nil {
+		return t.stats, t.err
+	}
+	if !t.done {
+		return t.stats, fmt.Errorf("timing: ticket not drained yet (call Engine.Drain)")
+	}
+	return t.stats, nil
+}
+
+// Submit queues a kernel launch on a stream without running it. Launches
+// on the same stream execute in submission order; launches on different
+// streams run concurrently during Drain. All queued operations must come
+// from the same functional machine (one simulated device).
+func (e *Engine) Submit(g *exec.Grid, stream int) (*Ticket, error) {
+	return e.submit(g, stream, 0, nil)
+}
+
+func (e *Engine) submit(g *exec.Grid, stream, skipCTAs int, preload []*exec.CTA) (*Ticket, error) {
+	if e.machine != nil && g.Machine() != e.machine {
+		return nil, fmt.Errorf("timing: engine has pending work from a different machine")
+	}
+	t := &Ticket{
+		kind: opKernel, stream: stream,
+		grid: g, skipCTAs: skipCTAs, preload: preload,
+		stats: cudart.KernelStats{
+			Name: g.Kernel.Name, GridDim: g.GridDim, BlockDim: g.BlockDim,
+		},
+	}
+	run, err := newGridRun(&e.cfg, t)
+	if err != nil {
+		return nil, err
+	}
+	t.run = run
+	e.machine = g.Machine()
+	e.queue = append(e.queue, t)
+	return t, nil
+}
+
+// SubmitCopy queues an n-byte host-device transfer on a stream. The copy
+// orders against kernels and copies on its stream, serialises with other
+// transfers on the modelled copy engine, and runs apply (the functional
+// memory effect) when the modelled transfer completes. The returned
+// ticket reports the transfer's occupancy as Stats().Cycles; the other
+// kernel statistics stay zero.
+func (e *Engine) SubmitCopy(stream, bytes int, apply func()) *Ticket {
+	t := &Ticket{
+		kind: opCopy, stream: stream,
+		copyBytes: bytes, copyApply: apply,
+	}
+	e.queue = append(e.queue, t)
+	return t
+}
+
+// Drain simulates until every submitted operation has retired. Statistics
+// land on the tickets; the first failure aborts the whole batch and is
+// returned (every unfinished ticket gets an error).
+func (e *Engine) Drain() error { return e.drain(0) }
+
+// RunGrid simulates one kernel launch to completion (any previously
+// submitted operations drain along with it).
 func (e *Engine) RunGrid(g *exec.Grid) (cudart.KernelStats, error) {
 	return e.runGrid(g, 0, nil, 0)
 }
@@ -138,21 +275,74 @@ func (e *Engine) RunGridResume(g *exec.Grid, skipCTAs int, preload []*exec.CTA) 
 }
 
 func (e *Engine) runGrid(g *exec.Grid, skipCTAs int, preload []*exec.CTA, workers int) (cudart.KernelStats, error) {
-	m := g.Machine()
-	start := e.cycle
-	startInstr := e.stats.Instructions
-
-	disp, err := newDispatcher(&e.cfg, g, skipCTAs, preload)
+	t, err := e.submit(g, 0, skipCTAs, preload)
 	if err != nil {
 		return cudart.KernelStats{}, err
 	}
+	if err := e.drain(workers); err != nil {
+		if t.err != nil {
+			return cudart.KernelStats{}, t.err
+		}
+		return cudart.KernelStats{}, err
+	}
+	return t.stats, t.err
+}
+
+// copyCycles converts a transfer size to copy-engine cycles.
+func (e *Engine) copyCycles(bytes int) uint64 {
+	bpc := e.cfg.CopyBytesPerCycle
+	if bpc <= 0 {
+		// the analytical timeline's PCIe bandwidth, at the core clock
+		mhz := e.cfg.ClockMHz
+		if mhz <= 0 {
+			mhz = cudart.DefaultClockMHz
+		}
+		bpc = cudart.DefaultCopyBWBytesPerUs / mhz
+	}
+	return uint64(float64(bytes)/bpc + 0.5)
+}
+
+// linkStreams computes every ticket's same-stream predecessor so the
+// per-cycle admission scan is O(queue), not O(queue²).
+func (e *Engine) linkStreams() {
+	last := make(map[int]*Ticket)
+	for _, t := range e.queue {
+		t.prev = last[t.stream]
+		last[t.stream] = t
+	}
+}
+
+// drain is the engine's main loop: admit eligible operations, step the
+// machine cycle by cycle, retire operations, until the queue is empty.
+func (e *Engine) drain(workers int) error {
+	if len(e.queue) == 0 {
+		return nil
+	}
+	m := e.machine
+
+	// Dense per-batch kernel ids index the cores' instruction shards.
+	nKernels := 0
+	for _, t := range e.queue {
+		if t.kind == opKernel {
+			t.run.id = nKernels
+			nKernels++
+		}
+	}
+	e.linkStreams()
 	for _, c := range e.cores {
 		for i := range c.scheds {
 			c.scheds[i].rr = 0
 		}
 		c.stats.rebase(e.cycle)
+		if cap(c.runInstrs) < nKernels {
+			c.runInstrs = make([]uint64, nKernels)
+		} else {
+			c.runInstrs = c.runInstrs[:nKernels]
+			for i := range c.runInstrs {
+				c.runInstrs[i] = 0
+			}
+		}
 	}
-	disp.fill(e.cores)
 
 	if workers == 0 {
 		workers = e.workers
@@ -161,13 +351,82 @@ func (e *Engine) runGrid(g *exec.Grid, skipCTAs int, preload []*exec.CTA, worker
 	}
 	p := e.getPool(workers)
 
+	var disp dispatcher
 	nCores := len(e.cores)
 	nParts := len(e.parts)
 	deadline := e.cycle + 2_000_000_000 // runaway guard
-	for !disp.finished() {
+
+	for {
+		// Complete in-flight copies (running their functional memory
+		// effect now that the modelled transfer has finished) and check
+		// for overall completion.
+		allDone := true
+		for _, t := range e.queue {
+			if t.done {
+				continue
+			}
+			if t.kind == opCopy && t.admitted && e.cycle >= t.endCycle {
+				if t.copyApply != nil {
+					t.copyApply()
+					t.copyApply = nil
+				}
+				t.stats.Cycles = t.endCycle - t.startCycle
+				t.done = true
+				continue
+			}
+			allDone = false
+		}
+		if allDone {
+			break
+		}
+
+		// Admit operations whose stream predecessor has retired, in
+		// submission order (the deterministic stream-ordered policy).
+		for _, t := range e.queue {
+			if t.done || t.admitted || (t.prev != nil && !t.prev.done) {
+				continue
+			}
+			if t.kind == opKernel {
+				t.startCycle = e.cycle
+				disp.admit(t.run)
+				t.admitted = true
+			} else {
+				start := e.cycle
+				if e.copyBusyUntil > start {
+					start = e.copyBusyUntil
+				}
+				t.startCycle = start
+				t.endCycle = start + e.copyCycles(t.copyBytes)
+				e.copyBusyUntil = t.endCycle
+				t.admitted = true
+			}
+		}
+
+		disp.fill(&e.cfg, e.cores)
+
+		if len(disp.runs) == 0 {
+			// Only copies in flight: jump to the earliest completion,
+			// charging the bridged cycles to the stall statistics like
+			// the stalled-machine fast-forward below, so bucket sums
+			// keep matching elapsed cycles.
+			wake := ^uint64(0)
+			for _, t := range e.queue {
+				if !t.done && t.kind == opCopy && t.admitted && t.endCycle < wake {
+					wake = t.endCycle
+				}
+			}
+			if wake == ^uint64(0) {
+				return e.abortBatch(m, fmt.Errorf("timing: drain stalled with pending work"), -1)
+			}
+			if wake > e.cycle {
+				e.stats.addIdleBulk(e.cycle, wake-e.cycle, e.cfg)
+				e.cycle = wake
+			}
+			continue
+		}
+
 		if e.cycle > deadline {
-			e.abortKernel(m)
-			return cudart.KernelStats{}, fmt.Errorf("timing: kernel %s exceeded cycle budget (deadlock?)", g.Kernel.Name)
+			return e.abortBatch(m, fmt.Errorf("timing: exceeded cycle budget (deadlock?)"), -1)
 		}
 		now := e.cycle
 
@@ -179,14 +438,12 @@ func (e *Engine) runGrid(g *exec.Grid, skipCTAs int, preload []*exec.CTA, worker
 		progressAt := uint64(^uint64(0))
 		for _, c := range e.cores {
 			if c.err != nil {
-				e.abortKernel(m)
-				return cudart.KernelStats{}, fmt.Errorf("timing: kernel %s: %w", g.Kernel.Name, c.err)
+				return e.abortBatch(m, c.err, c.errRunID)
 			}
 			// Phase 2: sequential atomic drain, core id order.
 			for _, w := range c.atomQ {
 				if err := c.issue(m, w, now); err != nil {
-					e.abortKernel(m)
-					return cudart.KernelStats{}, fmt.Errorf("timing: kernel %s: %w", g.Kernel.Name, err)
+					return e.abortBatch(m, err, w.runID)
 				}
 			}
 			if c.issuedAny {
@@ -197,7 +454,10 @@ func (e *Engine) runGrid(g *exec.Grid, skipCTAs int, preload []*exec.CTA, worker
 			if len(c.memQ) > 0 {
 				anyMem = true
 			}
-			disp.done += c.retired
+			// CTA retirement, attributed per grid in canonical core order.
+			for _, s := range c.retiredSlots {
+				s.run.done++
+			}
 		}
 
 		if anyMem {
@@ -225,27 +485,62 @@ func (e *Engine) runGrid(g *exec.Grid, skipCTAs int, preload []*exec.CTA, worker
 			p.run(nCores, func(i int) { e.cores[i].applyMem(now) })
 		}
 
-		disp.fill(e.cores)
+		// Retire finished grids in submission order.
+		for _, r := range disp.runs {
+			if r.finished() && !r.op.done {
+				end := now + 1
+				var instrs uint64
+				for _, c := range e.cores {
+					instrs += c.runInstrs[r.id]
+				}
+				r.op.stats.Cycles = end - r.op.startCycle
+				r.op.stats.WarpInstrs = instrs
+				r.op.done = true
+				e.stats.noteKernel(r.grid.Kernel.Name, r.op.stats.Cycles, instrs)
+			}
+		}
+		disp.retire()
+
 		e.cycle++
-		if !anyIssued && progressAt != ^uint64(0) && progressAt > e.cycle {
+		if !anyIssued {
 			// fast-forward over a fully stalled machine, charging the
-			// skipped cycles to the stall statistics.
-			skip := progressAt - e.cycle
-			e.stats.addIdleBulk(e.cycle, skip, e.cfg)
-			e.cycle = progressAt
+			// skipped cycles to the stall statistics. In-flight copies
+			// bound the jump: their completion can admit new kernels.
+			wake := progressAt
+			for _, t := range e.queue {
+				if !t.done && t.kind == opCopy && t.admitted && t.endCycle < wake {
+					wake = t.endCycle
+				}
+			}
+			if wake != ^uint64(0) && wake > e.cycle {
+				skip := wake - e.cycle
+				e.stats.addIdleBulk(e.cycle, skip, e.cfg)
+				e.cycle = wake
+			}
 		}
 	}
 
 	e.mergeShards(m)
-	stats := cudart.KernelStats{
-		Name:       g.Kernel.Name,
-		GridDim:    g.GridDim,
-		BlockDim:   g.BlockDim,
-		Cycles:     e.cycle - start,
-		WarpInstrs: e.stats.Instructions - startInstr,
+	e.releaseQueue()
+	return nil
+}
+
+// releaseQueue empties the batch queue, dropping the references each
+// retired ticket holds (grid state, preload CTAs, prev chains) so a
+// long-lived engine does not pin finished kernels in memory through the
+// slice backing array. Callers keep their tickets; only the stats and
+// error survive on them.
+func (e *Engine) releaseQueue() {
+	for i, t := range e.queue {
+		t.prev = nil
+		t.grid = nil
+		t.preload = nil
+		t.run = nil
+		t.copyApply = nil
+		e.queue[i] = nil
 	}
-	e.stats.noteKernel(g.Kernel.Name, stats.Cycles, stats.WarpInstrs)
-	return stats, nil
+	e.queue = e.queue[:0]
+	e.machine = nil
 }
 
 // getPool returns the engine's worker pool, rebuilding it only when the
@@ -270,12 +565,42 @@ func (e *Engine) getPool(workers int) *pool {
 // kernel launch simply rebuilds the pool.
 func (e *Engine) Close() { e.pool.close() }
 
-// abortKernel restores the engine to a reusable state after a failed
-// launch: the dead kernel's CTAs are dropped from every core and the stat
-// shards are folded in so they cannot be misattributed to the next kernel.
-func (e *Engine) abortKernel(m *exec.Machine) {
+// abortBatch restores the engine to a reusable state after a failure:
+// resident CTAs are dropped from every core, stat shards are folded in so
+// they cannot be misattributed to the next batch, and every unfinished
+// ticket is marked failed. runID attributes the failure to a specific
+// kernel (-1 when unknown). Returns the error recorded on the faulting
+// ticket.
+func (e *Engine) abortBatch(m *exec.Machine, cause error, runID int) error {
+	name := "?"
+	var faulty *Ticket
+	for _, t := range e.queue {
+		if t.kind == opKernel && t.run.id == runID {
+			faulty = t
+			name = t.grid.Kernel.Name
+			break
+		}
+	}
+	err := fmt.Errorf("timing: kernel %s: %w", name, cause)
+	if faulty == nil {
+		err = cause
+	}
+	for _, t := range e.queue {
+		if t.done {
+			continue
+		}
+		if t == faulty {
+			t.err = err
+		} else {
+			t.err = fmt.Errorf("timing: aborted by failure in the same batch: %w", cause)
+		}
+		t.done = true
+	}
 	for _, c := range e.cores {
 		c.slots = c.slots[:0]
+		c.warpsUsed = 0
+		c.smemUsed = 0
+		c.retiredSlots = c.retiredSlots[:0]
 		for i := range c.scheds {
 			sc := &c.scheds[i]
 			for j := range sc.cands {
@@ -288,18 +613,27 @@ func (e *Engine) abortKernel(m *exec.Machine) {
 		c.atomQ = c.atomQ[:0]
 		c.err = nil
 	}
+	// drop the killed in-flight copies' engine occupancy so it cannot
+	// leak into the next batch's transfer start times
+	if e.copyBusyUntil > e.cycle {
+		e.copyBusyUntil = e.cycle
+	}
 	e.mergeShards(m)
+	e.releaseQueue()
+	return err
 }
 
 // mergeShards folds the per-core and per-partition statistic shards (and
 // the per-core functional coverage shards) into the engine-wide
-// accumulators at a kernel boundary.
+// accumulators at a batch boundary.
 func (e *Engine) mergeShards(m *exec.Machine) {
 	for _, c := range e.cores {
 		e.stats.merge(c.stats)
 		c.stats.reset()
-		m.Coverage().Merge(c.cov)
-		c.cov.Reset()
+		if m != nil {
+			m.Coverage().Merge(c.cov)
+			c.cov.Reset()
+		}
 	}
 	for _, p := range e.parts {
 		p.mergeStats(e.stats)

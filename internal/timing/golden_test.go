@@ -1,0 +1,138 @@
+package timing_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/cudart"
+	"repro/internal/cudnn"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/golden_stats.json")
+
+// goldenEntry pins the headline timing numbers of one workload. The
+// engine is deterministic, so any divergence is a real modelling change:
+// intentional changes regenerate the file with `go test -run Golden
+// -update ./internal/timing`, silent drifts fail CI.
+type goldenEntry struct {
+	Cycles       uint64  `json:"cycles"`
+	WarpInstrs   uint64  `json:"warp_instrs"`
+	IPCMilli     uint64  `json:"ipc_milli"` // warp IPC * 1000, truncated
+	L1Accesses   uint64  `json:"l1_accesses"`
+	L2Accesses   uint64  `json:"l2_accesses"`
+	DRAMAccesses uint64  `json:"dram_accesses"`
+	L2MissRate   float64 `json:"l2_miss_rate"` // DRAM/L2, rounded to 1e-4
+}
+
+// lenetConvLoad is LeNet's first convolution layer (1x1x28x28 input,
+// 6 5x5 filters, pad 2) on the implicit-GEMM path — the paper's
+// canonical small-cuDNN-kernel shape.
+func lenetConvLoad(t *testing.T, ctx *cudart.Context, h *cudnn.Handle) (uint64, int) {
+	t.Helper()
+	xd := cudnn.TensorDesc{N: 1, C: 1, H: 28, W: 28}
+	fd := cudnn.FilterDesc{K: 6, C: 1, R: 5, S: 5}
+	cd := cudnn.ConvDesc{Pad: 2, Stride: 1}
+	yd := cudnn.TensorDesc{N: 1, C: fd.K, H: cd.OutDim(xd.H, fd.R), W: cd.OutDim(xd.W, fd.S)}
+	x := make([]float32, xd.Count())
+	for i := range x {
+		x[i] = float32(i%23)*0.125 - 1.25
+	}
+	w := make([]float32, fd.Count())
+	for i := range w {
+		w[i] = float32(i%11)*0.25 - 1
+	}
+	px, _ := ctx.Malloc(uint64(4 * xd.Count()))
+	ctx.MemcpyF32HtoD(px, x)
+	pw, _ := ctx.Malloc(uint64(4 * fd.Count()))
+	ctx.MemcpyF32HtoD(pw, w)
+	py, _ := ctx.Malloc(uint64(4 * yd.Count()))
+	if _, err := h.ConvolutionForward(cudnn.FwdAlgoImplicitGemm, px, xd, pw, fd, cd, py); err != nil {
+		t.Fatal(err)
+	}
+	return py, yd.Count()
+}
+
+func goldenRun(t *testing.T, load func(*testing.T, *cudart.Context, *cudnn.Handle) (uint64, int)) goldenEntry {
+	t.Helper()
+	snap := runWorkload(t, 1, load)
+	var instrs uint64
+	for _, k := range snap.Log {
+		instrs += k.WarpInstrs
+	}
+	e := goldenEntry{
+		Cycles:       snap.Cycles,
+		WarpInstrs:   instrs,
+		IPCMilli:     instrs * 1000 / snap.Cycles,
+		L1Accesses:   snap.Stats.L1Accesses,
+		L2Accesses:   snap.Stats.L2Accesses,
+		DRAMAccesses: snap.Stats.DRAMAccesses,
+	}
+	if e.L2Accesses > 0 {
+		e.L2MissRate = float64(e.DRAMAccesses*10000/e.L2Accesses) / 10000
+	}
+	return e
+}
+
+// TestGoldenStats locks in the cycle/IPC/L2 numbers of one GEMM and one
+// LeNet conv layer under the GTX 1050 model so silent timing drifts
+// fail CI. Run with -update to accept an intentional modelling change.
+func TestGoldenStats(t *testing.T) {
+	got := map[string]goldenEntry{
+		"gemm_64x48x56":     goldenRun(t, gemmLoad),
+		"lenet_conv1_igemm": goldenRun(t, lenetConvLoad),
+	}
+	path := filepath.Join("testdata", "golden_stats.json")
+
+	if *update {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run Golden -update ./internal/timing`): %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range got {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("workload %s missing from golden file — rerun with -update", name)
+			continue
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("timing drift in %s:\n got %+v\nwant %+v\n(intentional? rerun with -update)", name, g, w)
+		}
+	}
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("golden file has stale workload %s — rerun with -update", name)
+		}
+	}
+}
+
+// TestGoldenStatsStable double-checks the golden workloads really are
+// deterministic run-to-run before we trust them as regression anchors.
+func TestGoldenStatsStable(t *testing.T) {
+	a := goldenRun(t, gemmLoad)
+	b := goldenRun(t, gemmLoad)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("golden workload is not deterministic:\n%+v\n%+v", a, b)
+	}
+}

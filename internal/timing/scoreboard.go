@@ -13,6 +13,7 @@ import (
 type warpCtx struct {
 	cta        *exec.CTA
 	warp       *exec.Warp
+	runID      int      // dense per-drain id of the owning grid (stat attribution)
 	regReady   []uint64 // scoreboard: per register slot, cycle it becomes readable
 	minIssueAt uint64   // structural stall (atomics, retry delays)
 }

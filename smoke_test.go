@@ -1,0 +1,220 @@
+package gpgpusim
+
+// Smoke tests for the main packages under cmd/ and examples/: every one
+// must compile, and the quickstart / standalone-simulator / LeNet paths
+// must run end to end with tiny configurations.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const smokeSaxpyPTX = `
+.version 6.0
+.target sm_61
+.address_size 64
+
+.visible .entry saxpy(
+	.param .u64 pX,
+	.param .u64 pY,
+	.param .f32 pA,
+	.param .u32 pN
+)
+{
+	.reg .pred %p<2>;
+	.reg .f32 %f<5>;
+	.reg .b32 %r<6>;
+	.reg .b64 %rd<6>;
+
+	ld.param.u64 %rd1, [pX];
+	ld.param.u64 %rd2, [pY];
+	ld.param.f32 %f1, [pA];
+	ld.param.u32 %r1, [pN];
+	mov.u32 %r2, %ctaid.x;
+	mov.u32 %r3, %ntid.x;
+	mov.u32 %r4, %tid.x;
+	mad.lo.s32 %r5, %r2, %r3, %r4;
+	setp.ge.u32 %p1, %r5, %r1;
+	@%p1 bra DONE;
+	cvta.to.global.u64 %rd1, %rd1;
+	cvta.to.global.u64 %rd2, %rd2;
+	mul.wide.u32 %rd3, %r5, 4;
+	add.s64 %rd4, %rd1, %rd3;
+	add.s64 %rd5, %rd2, %rd3;
+	ld.global.f32 %f2, [%rd4];
+	ld.global.f32 %f3, [%rd5];
+	fma.rn.f32 %f4, %f2, %f1, %f3;
+	st.global.f32 [%rd5], %f4;
+DONE:
+	ret;
+}
+`
+
+// buildMains compiles every main package into a temp dir and returns it.
+func buildMains(t *testing.T) string {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(goTool, "build", "-o", dir+string(os.PathSeparator), "./cmd/...", "./examples/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building main packages failed: %v\n%s", err, out)
+	}
+	return dir
+}
+
+// TestMainPackagesSmoke builds all cmd/ and examples/ binaries, then
+// drives the standalone simulator and the quickstart example with tiny
+// configs, asserting success and non-empty statistics output.
+func TestMainPackagesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bin := buildMains(t)
+
+	// every expected binary exists
+	for _, name := range []string{
+		"gpgpusim", "mnistsim", "aerialvision", "convsample", "debugtool",
+		"quickstart", "lenet_mnist", "conv_algorithms", "checkpoint_resume",
+		"debug_workflow", "concurrent_streams",
+	} {
+		if _, err := os.Stat(filepath.Join(bin, name)); err != nil {
+			t.Errorf("binary %s not built: %v", name, err)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	ptxFile := filepath.Join(t.TempDir(), "saxpy.ptx")
+	if err := os.WriteFile(ptxFile, []byte(smokeSaxpyPTX), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("gpgpusim_functional", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "gpgpusim"),
+			"-args", "buf256,buf256,f2,i256", "-grid", "2", "-block", "128", ptxFile)
+		if !strings.Contains(out, "functional mode") || !strings.Contains(out, "warp instructions") {
+			t.Fatalf("unexpected output:\n%s", out)
+		}
+	})
+
+	t.Run("gpgpusim_perf_streams", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "gpgpusim"),
+			"-perf", "-streams", "2", "-j", "2",
+			"-args", "buf256,buf256,f2,i256", "-grid", "2", "-block", "128", ptxFile)
+		if !strings.Contains(out, "overlap speedup") || !strings.Contains(out, "cycles") {
+			t.Fatalf("missing concurrent-stream stats in output:\n%s", out)
+		}
+	})
+
+	t.Run("quickstart", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "quickstart"))
+		if !strings.Contains(out, "functional mode") || !strings.Contains(out, "performance mode") {
+			t.Fatalf("quickstart did not report both modes:\n%s", out)
+		}
+	})
+
+	t.Run("concurrent_streams", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "concurrent_streams"))
+		if !strings.Contains(out, "overlap speedup") {
+			t.Fatalf("concurrent_streams did not report a speedup:\n%s", out)
+		}
+	})
+}
+
+func runBinary(t *testing.T, path string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(path, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", filepath.Base(path), args, err, out)
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s produced no output", filepath.Base(path))
+	}
+	return string(out)
+}
+
+// TestQuickstartInProcess exercises the quickstart path through the
+// public API: a hand-written kernel in functional then performance mode.
+func TestQuickstartInProcess(t *testing.T) {
+	for _, perf := range []bool{false, true} {
+		ctx := NewContext(BugSet{})
+		if _, err := ctx.RegisterModule(smokeSaxpyPTX); err != nil {
+			t.Fatal(err)
+		}
+		if perf {
+			eng, err := NewTimingEngine(GTX1050)
+			if err != nil {
+				t.Fatal(err)
+			}
+			UseTiming(ctx, eng)
+		}
+		const n = 256
+		x := make([]float32, n)
+		y := make([]float32, n)
+		for i := range x {
+			x[i] = float32(i)
+			y[i] = 1
+		}
+		px, _ := ctx.Malloc(4 * n)
+		ctx.MemcpyF32HtoD(px, x)
+		py, _ := ctx.Malloc(4 * n)
+		ctx.MemcpyF32HtoD(py, y)
+		p := NewParams().Ptr(px).Ptr(py).F32(2).U32(n)
+		st, err := ctx.Launch("saxpy", Dim3{X: 2}, Dim3{X: 128}, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.WarpInstrs == 0 {
+			t.Fatal("no instructions recorded")
+		}
+		if perf && st.Cycles == 0 {
+			t.Fatal("no cycles recorded in performance mode")
+		}
+		got := ctx.MemcpyF32DtoH(py, n)
+		for i, v := range got {
+			want := float32(i)*2 + 1
+			if v != want {
+				t.Fatalf("y[%d] = %v, want %v (perf=%v)", i, v, want, perf)
+			}
+		}
+	}
+}
+
+// TestLeNetInProcess runs a tiny LeNet forward pass (1 image) against
+// its CPU oracle — the in-process version of the lenet_mnist example.
+func TestLeNetInProcess(t *testing.T) {
+	model, _, err := NewLeNet(BugSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewMNISTDataset(7)
+	images, _ := ds.Batch(1)
+	probs, err := model.Forward(images, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 10 {
+		t.Fatalf("expected 10 class probabilities, got %d", len(probs))
+	}
+	var sum float32
+	for _, p := range probs {
+		sum += p
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("probabilities do not sum to 1: %v", sum)
+	}
+	if got := ctxStatCount(model); got == 0 {
+		t.Fatal("no kernels launched for the forward pass")
+	}
+}
+
+func ctxStatCount(m *LeNet) int { return len(m.Dev.Ctx.KernelStatsLog()) }
