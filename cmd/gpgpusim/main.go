@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/cudart"
 	"repro/internal/exec"
 	"repro/internal/stats"
@@ -25,10 +26,19 @@ func main() {
 	streams := flag.Int("streams", 1, "in -perf mode, launch the kernel once per stream on N concurrent CUDA streams (each with its own buffers) and report the overlap")
 	args := flag.String("args", "", "comma-separated kernel arguments: bufN (device buffer of N floats), iV (u32), fV (f32)")
 	dump := flag.Int("dump", 8, "floats to dump from each buffer argument after the run")
+	workload := flag.String("workload", "", "built-in workload instead of a PTX file: 'transformer' runs the encoder inference batch in the detailed model (-streams sequences, -j workers)")
 	flag.Parse()
 
+	if *workload != "" {
+		if err := runWorkloadFlag(*workload, *workers, *streams); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gpgpusim [flags] file.ptx")
+		fmt.Fprintln(os.Stderr, "usage: gpgpusim [flags] file.ptx  (or -workload transformer)")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -112,6 +122,33 @@ func main() {
 	}
 	fmt.Println()
 	dumpBufs(ctx, bufs, bufLens, *dump)
+}
+
+// runWorkloadFlag dispatches the -workload built-ins.
+func runWorkloadFlag(name string, workers, streams int) error {
+	switch name {
+	case "transformer":
+		return runTransformerWorkload(workers, streams)
+	default:
+		return fmt.Errorf("unknown workload %q (available: transformer)", name)
+	}
+}
+
+// runTransformerWorkload runs the transformer-encoder inference batch in
+// the detailed model: `streams` sequences, each forward pass on its own
+// CUDA stream, verified against the ForwardCPU oracle and compared with
+// a serialized run of the same batch.
+func runTransformerWorkload(workers, streams int) error {
+	res, err := core.RunTransformerSample(workers, streams, 12)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transformer workload: %d layers, %d heads, d_model %d — %d sequences × %d tokens, %d kernel launches\n",
+		res.Config.Layers, res.Config.Heads, res.Config.DModel, res.Seqs, res.SeqLen, res.Launches)
+	fmt.Printf("max |sim - cpu| = %.2g\n", res.MaxAbsDiff)
+	fmt.Printf("%d streams: %d total cycles concurrent vs %d serialized (overlap speedup %.2fx), IPC %.2f\n",
+		res.Seqs, res.ConcurrentCycles, res.SerializedCycles, res.Speedup(), res.IPC())
+	return nil
 }
 
 // runStreamWorkload runs the kernel once per lane on a fresh context and

@@ -24,6 +24,8 @@
 package gpgpusim
 
 import (
+	"math/rand"
+
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/cudart"
@@ -126,6 +128,21 @@ func UseTiming(ctx *Context, e *TimingEngine) { ctx.SetRunner(timing.Runner{E: e
 
 // NewDevice creates a PyTorch-analog device over a fresh simulated GPU.
 func NewDevice(bugs BugSet) (*Device, error) { return torch.NewDevice(bugs) }
+
+// Transformer-inference workload surfaces.
+type (
+	// TransformerConfig sizes the transformer encoder workload.
+	TransformerConfig = torch.TransformerConfig
+	// TransformerEncoder is the transformer-inference workload model; its
+	// ForwardBatch overlaps per-sequence forward passes on CUDA streams.
+	TransformerEncoder = torch.TransformerEncoder
+)
+
+// NewTransformerEncoder builds the transformer-inference encoder on a
+// device with deterministically seeded weights.
+func NewTransformerEncoder(dev *Device, seed int64, cfg TransformerConfig) (*TransformerEncoder, error) {
+	return torch.NewTransformerEncoder(dev, rand.New(rand.NewSource(seed)), cfg)
+}
 
 // NewLeNet builds the MNIST workload on a fresh functional device.
 func NewLeNet(bugs BugSet) (*LeNet, *Device, error) { return mnist.NewDefaultLeNet(bugs) }

@@ -1,0 +1,152 @@
+package core
+
+// The transformer-inference sample: the shared driver behind
+// `cmd/gpgpusim -workload transformer` and examples/transformer_inference.
+// It runs a small encoder forward batch twice under the GTX 1050 model —
+// once with every sequence's kernel chain on its own CUDA stream, once
+// serialized on the default stream — verifies both against the CPU
+// oracle and each other, and aggregates the per-kernel statistics.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cudart"
+	"repro/internal/exec"
+	"repro/internal/timing"
+	"repro/internal/torch"
+)
+
+// DefaultTransformerConfig sizes the sample encoder: small enough for
+// the detailed model to run in seconds, big enough that every kernel
+// family appears.
+func DefaultTransformerConfig() torch.TransformerConfig {
+	return torch.TransformerConfig{
+		Layers: 2, Heads: 4, DModel: 32, FF: 64, Vocab: 61, MaxSeq: 16,
+	}
+}
+
+// TransformerKernelAgg aggregates one kernel name's launches.
+type TransformerKernelAgg struct {
+	Name       string
+	Launches   int
+	WarpInstrs uint64
+	Cycles     uint64
+}
+
+// TransformerSampleResult summarises the concurrent + serialized runs.
+type TransformerSampleResult struct {
+	Config           torch.TransformerConfig
+	Seqs             int
+	SeqLen           int
+	Launches         int
+	ConcurrentCycles uint64
+	SerializedCycles uint64
+	TotalInstrs      uint64
+	MaxAbsDiff       float64 // |simulated - ForwardCPU oracle|
+	PerKernel        []TransformerKernelAgg
+}
+
+// Speedup returns the serialized/concurrent cycle ratio.
+func (r *TransformerSampleResult) Speedup() float64 {
+	return float64(r.SerializedCycles) / float64(r.ConcurrentCycles)
+}
+
+// IPC returns warp instructions per cycle of the concurrent run.
+func (r *TransformerSampleResult) IPC() float64 {
+	return float64(r.TotalInstrs) / float64(r.ConcurrentCycles)
+}
+
+// transformerBatch builds `seqs` deterministic token sequences.
+func transformerBatch(seqs, seqLen, vocab int) [][]int32 {
+	batch := make([][]int32, seqs)
+	for i := range batch {
+		ids := make([]int32, seqLen)
+		for j := range ids {
+			ids[j] = int32((i*13 + j*5) % vocab)
+		}
+		batch[i] = ids
+	}
+	return batch
+}
+
+// RunTransformerSample executes the sample with `seqs` sequences of
+// `seqLen` tokens and `workers` engine worker goroutines.
+func RunTransformerSample(workers, seqs, seqLen int) (*TransformerSampleResult, error) {
+	cfg := DefaultTransformerConfig()
+	if seqs < 1 {
+		seqs = 1
+	}
+	batch := transformerBatch(seqs, seqLen, cfg.Vocab)
+
+	run := func(concurrent bool) (uint64, [][]float32, []cudart.KernelStats, *torch.TransformerEncoder, error) {
+		dev, err := torch.NewDevice(exec.BugSet{})
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		eng, err := timing.New(timing.GTX1050(), timing.WithWorkers(workers))
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		dev.Ctx.SetRunner(timing.Runner{E: eng})
+		enc, err := torch.NewTransformerEncoder(dev, rand.New(rand.NewSource(7)), cfg)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		start := eng.Cycle()
+		outs, err := enc.ForwardBatch(batch, concurrent)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		return eng.Cycle() - start, outs, dev.Ctx.KernelStatsLog(), enc, nil
+	}
+
+	conc, outs, log, enc, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	serial, serialOuts, _, _, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TransformerSampleResult{
+		Config: cfg, Seqs: seqs, SeqLen: seqLen, Launches: len(log),
+		ConcurrentCycles: conc, SerializedCycles: serial,
+	}
+	// self-check: simulated output vs the ForwardCPU oracle, and the
+	// stream-overlapped run vs the serialized run (must be identical)
+	for i, ids := range batch {
+		want, _ := enc.ForwardCPU(ids)
+		for j := range want {
+			if d := math.Abs(float64(outs[i][j] - want[j])); d > res.MaxAbsDiff {
+				res.MaxAbsDiff = d
+			}
+			if outs[i][j] != serialOuts[i][j] {
+				return nil, fmt.Errorf("core: stream vs serial output diverged at seq %d elem %d", i, j)
+			}
+		}
+	}
+
+	byName := map[string]*TransformerKernelAgg{}
+	var names []string
+	for _, k := range log {
+		a := byName[k.Name]
+		if a == nil {
+			a = &TransformerKernelAgg{Name: k.Name}
+			byName[k.Name] = a
+			names = append(names, k.Name)
+		}
+		a.Launches++
+		a.WarpInstrs += k.WarpInstrs
+		a.Cycles += k.Cycles
+		res.TotalInstrs += k.WarpInstrs
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		res.PerKernel = append(res.PerKernel, *byName[n])
+	}
+	return res, nil
+}

@@ -253,8 +253,14 @@ func (c *Context) Malloc(size uint64) (uint64, error) {
 	return c.Alloc.Alloc(size)
 }
 
-// Free releases device memory (cudaFree).
-func (c *Context) Free(addr uint64) error { return c.Alloc.Free(addr) }
+// Free releases device memory (cudaFree). Like the real call it is
+// device-synchronizing: queued async kernels may still reference the
+// allocation, so they drain first (any failure stays sticky for the
+// next explicit synchronisation call).
+func (c *Context) Free(addr uint64) error {
+	_ = c.drainPending()
+	return c.Alloc.Free(addr)
+}
 
 // syncCopy models a blocking memcpy on the legacy default stream, which
 // is device-synchronizing: the copy starts only after every stream's

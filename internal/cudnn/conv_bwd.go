@@ -107,9 +107,8 @@ func (h *Handle) ConvolutionBackwardFilter(algo ConvBwdFilterAlgo, x uint64, xd 
 			U32(uint32(fd.K)).U32(uint32(fd.R)).U32(uint32(fd.S)).
 			U32(uint32(yd.H)).U32(uint32(yd.W)).
 			U32(uint32(cd.Stride)).U32(uint32(cd.Pad))
-		_, err := h.ctx.Launch("conv_bwd_filter_algo3",
-			exec.Dim3{X: fd.Count()}, exec.Dim3{X: 256}, p, 0)
-		return err
+		return h.launch("conv_bwd_filter_algo3",
+			exec.Dim3{X: fd.Count()}, exec.Dim3{X: 256}, p)
 	case BwdFilterFFT:
 		return h.bwdFilterFFT(x, xd, dy, yd, cd, dw, fd, false)
 	case BwdFilterFFTTiling:
@@ -122,9 +121,8 @@ func (h *Handle) ConvolutionBackwardFilter(algo ConvBwdFilterAlgo, x uint64, xd 
 			U32(uint32(xd.C)).U32(uint32(xd.H)).U32(uint32(xd.W)).
 			U32(uint32(fd.K)).U32(uint32(yd.H)).U32(uint32(yd.W)).
 			U32(uint32(cd.Pad)).U32(uint32(xd.N))
-		_, err := h.ctx.Launch("winograd_bwd_filter",
-			exec.Dim3{X: fd.K * fd.C}, exec.Dim3{X: 64}, p, 0)
-		return err
+		return h.launch("winograd_bwd_filter",
+			exec.Dim3{X: fd.K * fd.C}, exec.Dim3{X: 64}, p)
 	}
 	return ErrNotSupported{Reason: "unknown backward-filter algorithm"}
 }
@@ -216,10 +214,10 @@ func (h *Handle) bwdFilterFFT(x uint64, xd TensorDesc, dy uint64, yd TensorDesc,
 		if err := h.launch2D("fft_tile_extract", nn, 256, fd.K*nt, p); err != nil {
 			return err
 		}
-		if _, err := h.ctx.Launch(r2c, exec.Dim3{X: xd.C * nt}, exec.Dim3{X: n}, cudart.NewParams().Ptr(xTiles).Ptr(xSpec), 0); err != nil {
+		if err := h.launch(r2c, exec.Dim3{X: xd.C * nt}, exec.Dim3{X: n}, cudart.NewParams().Ptr(xTiles).Ptr(xSpec)); err != nil {
 			return err
 		}
-		if _, err := h.ctx.Launch(r2c, exec.Dim3{X: fd.K * nt}, exec.Dim3{X: n}, cudart.NewParams().Ptr(dyTiles).Ptr(dySpec), 0); err != nil {
+		if err := h.launch(r2c, exec.Dim3{X: fd.K * nt}, exec.Dim3{X: n}, cudart.NewParams().Ptr(dyTiles).Ptr(dySpec)); err != nil {
 			return err
 		}
 		cg := cudart.NewParams().Ptr(xSpec).Ptr(dySpec).Ptr(dwSpec).
@@ -228,8 +226,8 @@ func (h *Handle) bwdFilterFFT(x uint64, xd TensorDesc, dy uint64, yd TensorDesc,
 			return err
 		}
 	}
-	if _, err := h.ctx.Launch(c2r, exec.Dim3{X: fd.K * fd.C}, exec.Dim3{X: n},
-		cudart.NewParams().Ptr(dwSpec).Ptr(dwFull).F32(1/float32(nn)), 0); err != nil {
+	if err := h.launch(c2r, exec.Dim3{X: fd.K * fd.C}, exec.Dim3{X: n},
+		cudart.NewParams().Ptr(dwSpec).Ptr(dwFull).F32(1/float32(nn))); err != nil {
 		return err
 	}
 	cropPad := 0

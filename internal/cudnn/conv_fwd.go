@@ -91,7 +91,7 @@ func (h *Handle) convFwdGemm(x uint64, xd TensorDesc, w uint64, fd FilterDesc, c
 			U32(uint32(fd.K)).U32(uint32(ohw)).U32(uint32(crs)).
 			U32(0).U32(0).U32(0).F32(1).F32(0)
 		g := exec.Dim3{X: (ohw + 15) / 16, Y: (fd.K + 15) / 16, Z: 1}
-		if _, err := h.ctx.Launch("sgemm_tiled", g, exec.Dim3{X: 16, Y: 16}, gp, 0); err != nil {
+		if err := h.launch("sgemm_tiled", g, exec.Dim3{X: 16, Y: 16}, gp); err != nil {
 			return err
 		}
 	}
@@ -120,7 +120,7 @@ func (h *Handle) filterSpectra(w uint64, fd FilterDesc, n int) (uint64, func(), 
 		return 0, nil, err
 	}
 	r2c, _ := fftKernelNames(n)
-	if _, err := h.ctx.Launch(r2c, exec.Dim3{X: planes}, exec.Dim3{X: n}, cudart.NewParams().Ptr(pad).Ptr(spec), 0); err != nil {
+	if err := h.launch(r2c, exec.Dim3{X: planes}, exec.Dim3{X: n}, cudart.NewParams().Ptr(pad).Ptr(spec)); err != nil {
 		release()
 		return 0, nil, err
 	}
@@ -179,7 +179,7 @@ func (h *Handle) convFwdFFT(x uint64, xd TensorDesc, w uint64, fd FilterDesc, cd
 		if err := h.launch2D("pad2d", nn, 256, xd.C, p); err != nil {
 			return err
 		}
-		if _, err := h.ctx.Launch(r2c, exec.Dim3{X: xd.C}, exec.Dim3{X: n}, cudart.NewParams().Ptr(xPad).Ptr(xSpec), 0); err != nil {
+		if err := h.launch(r2c, exec.Dim3{X: xd.C}, exec.Dim3{X: n}, cudart.NewParams().Ptr(xPad).Ptr(xSpec)); err != nil {
 			return err
 		}
 		cg := cudart.NewParams().Ptr(xSpec).Ptr(wSpec).Ptr(ySpec).
@@ -187,8 +187,8 @@ func (h *Handle) convFwdFFT(x uint64, xd TensorDesc, w uint64, fd FilterDesc, cd
 		if err := h.launch1D("cgemm", fd.K*nn, 256, cg); err != nil {
 			return err
 		}
-		if _, err := h.ctx.Launch(c2r, exec.Dim3{X: fd.K}, exec.Dim3{X: n},
-			cudart.NewParams().Ptr(ySpec).Ptr(yFull).F32(1/float32(nn)), 0); err != nil {
+		if err := h.launch(c2r, exec.Dim3{X: fd.K}, exec.Dim3{X: n},
+			cudart.NewParams().Ptr(ySpec).Ptr(yFull).F32(1/float32(nn))); err != nil {
 			return err
 		}
 		yOff := y + uint64(4*img*fd.K*yd.H*yd.W)
@@ -254,7 +254,7 @@ func (h *Handle) convFwdFFTTiling(x uint64, xd TensorDesc, w uint64, fd FilterDe
 		if err := h.launch2D("fft_tile_extract", nn, 256, xd.C*nt, p); err != nil {
 			return err
 		}
-		if _, err := h.ctx.Launch(r2c, exec.Dim3{X: xd.C * nt}, exec.Dim3{X: n}, cudart.NewParams().Ptr(tiles).Ptr(xSpec), 0); err != nil {
+		if err := h.launch(r2c, exec.Dim3{X: xd.C * nt}, exec.Dim3{X: n}, cudart.NewParams().Ptr(tiles).Ptr(xSpec)); err != nil {
 			return err
 		}
 		cg := cudart.NewParams().Ptr(xSpec).Ptr(wSpec).Ptr(ySpec).
@@ -262,8 +262,8 @@ func (h *Handle) convFwdFFTTiling(x uint64, xd TensorDesc, w uint64, fd FilterDe
 		if err := h.launch2D("cgemm", fd.K*nn, 256, nt, cg); err != nil {
 			return err
 		}
-		if _, err := h.ctx.Launch(c2r, exec.Dim3{X: fd.K * nt}, exec.Dim3{X: n},
-			cudart.NewParams().Ptr(ySpec).Ptr(yFull).F32(1/float32(nn)), 0); err != nil {
+		if err := h.launch(c2r, exec.Dim3{X: fd.K * nt}, exec.Dim3{X: n},
+			cudart.NewParams().Ptr(ySpec).Ptr(yFull).F32(1/float32(nn))); err != nil {
 			return err
 		}
 		yOff := y + uint64(4*img*fd.K*yd.H*yd.W)
@@ -332,7 +332,7 @@ func (h *Handle) convFwdWinogradNonfused(x uint64, xd TensorDesc, w uint64, fd F
 		U32(uint32(fd.K)).U32(uint32(P)).U32(uint32(fd.C)).
 		U32(uint32(kc)).U32(uint32(cp)).U32(uint32(kp)).F32(1).F32(0)
 	g := exec.Dim3{X: (P + 15) / 16, Y: (fd.K + 15) / 16, Z: 16}
-	if _, err := h.ctx.Launch("sgemm_tiled", g, exec.Dim3{X: 16, Y: 16}, gp, 0); err != nil {
+	if err := h.launch("sgemm_tiled", g, exec.Dim3{X: 16, Y: 16}, gp); err != nil {
 		return err
 	}
 	op := cudart.NewParams().Ptr(m).Ptr(y).

@@ -111,7 +111,8 @@ func (e ErrNotSupported) Error() string { return "cudnn: not supported: " + e.Re
 // libcudnn into the application (§III-A fix 1), with each embedded PTX
 // translation unit parsed separately (fix 2).
 type Handle struct {
-	ctx *cudart.Context
+	ctx    *cudart.Context
+	stream cudart.Stream
 }
 
 // Create registers the kernel library with the context and returns a
@@ -128,13 +129,28 @@ func Create(ctx *cudart.Context) (*Handle, error) {
 // Context returns the underlying runtime context.
 func (h *Handle) Context() *cudart.Context { return h.ctx }
 
+// SetStream routes every subsequent library launch onto the given CUDA
+// stream — the cudnnSetStream analog. With a timing runner installed,
+// launches on a non-default stream queue in the detailed model and
+// overlap with work on other streams; the zero value keeps the legacy
+// device-synchronizing default stream.
+func (h *Handle) SetStream(s cudart.Stream) { h.stream = s }
+
+// Stream returns the stream the handle currently launches on.
+func (h *Handle) Stream() cudart.Stream { return h.stream }
+
+// launch launches a kernel on the handle's stream with an explicit grid.
+func (h *Handle) launch(name string, grid, block exec.Dim3, p *cudart.Params) error {
+	_, err := h.ctx.LaunchOnStream(h.stream, name, grid, block, p, 0)
+	return err
+}
+
 // launch1D launches a kernel over n elements with the given block size.
 func (h *Handle) launch1D(name string, n, block int, p *cudart.Params) error {
 	if n == 0 {
 		return nil
 	}
-	_, err := h.ctx.Launch(name, exec.Dim3{X: (n + block - 1) / block}, exec.Dim3{X: block}, p, 0)
-	return err
+	return h.launch(name, exec.Dim3{X: (n + block - 1) / block}, exec.Dim3{X: block}, p)
 }
 
 // launch2D launches with an explicit grid.y (plane/image dimension).
@@ -142,9 +158,7 @@ func (h *Handle) launch2D(name string, n, block, gy int, p *cudart.Params) error
 	if n == 0 || gy == 0 {
 		return nil
 	}
-	g := exec.Dim3{X: (n + block - 1) / block, Y: gy}
-	_, err := h.ctx.Launch(name, g, exec.Dim3{X: block}, p, 0)
-	return err
+	return h.launch(name, exec.Dim3{X: (n + block - 1) / block, Y: gy}, exec.Dim3{X: block}, p)
 }
 
 // zero fills a float32 device range using the fill_zero kernel.
@@ -255,10 +269,8 @@ func (h *Handle) LRNCrossChannelBackward(ld LRNDesc, x, y, dy, dx uint64, xd Ten
 // SoftmaxForward computes row-wise softmax (rows = n, cols = c).
 func (h *Handle) SoftmaxForward(x, y uint64, rows, cols int) error {
 	h.ctx.SetAPITag("cudnnSoftmaxForward")
-	_, err := h.ctx.Launch("softmax_forward",
-		exec.Dim3{X: rows}, exec.Dim3{X: 32},
-		cudart.NewParams().Ptr(x).Ptr(y).U32(uint32(cols)), 0)
-	return err
+	return h.launch("softmax_forward", exec.Dim3{X: rows}, exec.Dim3{X: 32},
+		cudart.NewParams().Ptr(x).Ptr(y).U32(uint32(cols)))
 }
 
 // SoftmaxNLLBackward computes (softmax - onehot)/batch.
@@ -284,8 +296,7 @@ func (h *Handle) Gemm(a, bm, cm uint64, m, n, k int, alpha, beta float32) error 
 		U32(uint32(m)).U32(uint32(n)).U32(uint32(k)).
 		U32(0).U32(0).U32(0).F32(alpha).F32(beta)
 	g := exec.Dim3{X: (n + 15) / 16, Y: (m + 15) / 16, Z: 1}
-	_, err := h.ctx.Launch("sgemm_tiled", g, exec.Dim3{X: 16, Y: 16}, p, 0)
-	return err
+	return h.launch("sgemm_tiled", g, exec.Dim3{X: 16, Y: 16}, p)
 }
 
 // SGDUpdate applies w -= lr*g.

@@ -60,10 +60,21 @@ func ModuleLRN() string {
 	return Module([]string{LRNTexName}, LRNForward(), LRNBackward())
 }
 
+// ModuleTransformer contains the transformer-inference kernels: the NT
+// strided-batched GEMM (attention scores), layernorm, GELU, residual
+// add, the head split/merge permutes and the embedding gather.
+func ModuleTransformer() string {
+	return Module(nil,
+		SgemmNTBatched(), LayerNormForward(), GeluForward(), ResidualAdd(),
+		SplitHeads(), MergeHeads(), EmbeddingLookup(),
+	)
+}
+
 // AllModules returns every library module, in registration order.
 func AllModules() []string {
 	return []string{
 		ModuleElementwise(), ModuleGemm(), ModuleConvDirect(),
 		ModuleFFT(), ModuleWinograd(), ModulePoolSoftmax(), ModuleLRN(),
+		ModuleTransformer(),
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/cudart"
@@ -26,6 +27,18 @@ type goldenEntry struct {
 	L2Accesses   uint64  `json:"l2_accesses"`
 	DRAMAccesses uint64  `json:"dram_accesses"`
 	L2MissRate   float64 `json:"l2_miss_rate"` // DRAM/L2, rounded to 1e-4
+	// PerKernel pins the instruction counts of every kernel family the
+	// workload launched (aggregated by name, sorted), so a silent change
+	// in any one kernel's codegen or launch count fails CI even when the
+	// headline totals happen to cancel out.
+	PerKernel []kernelGolden `json:"per_kernel,omitempty"`
+}
+
+// kernelGolden aggregates one kernel name's launches in a workload.
+type kernelGolden struct {
+	Name       string `json:"name"`
+	Launches   uint64 `json:"launches"`
+	WarpInstrs uint64 `json:"warp_instrs"`
 }
 
 // lenetConvLoad is LeNet's first convolution layer (1x1x28x28 input,
@@ -77,13 +90,55 @@ func goldenRun(t *testing.T, load func(*testing.T, *cudart.Context, *cudnn.Handl
 	return e
 }
 
-// TestGoldenStats locks in the cycle/IPC/L2 numbers of one GEMM and one
-// LeNet conv layer under the GTX 1050 model so silent timing drifts
-// fail CI. Run with -update to accept an intentional modelling change.
+// goldenTransformer pins the stream-overlapped transformer-encoder
+// forward batch (2 sequences on 2 concurrent streams, -j1), including
+// the per-kernel instruction counts of every kernel family it launches.
+func goldenTransformer(t *testing.T) goldenEntry {
+	t.Helper()
+	snap := runTransformer(t, 1, 2, true)
+	var instrs uint64
+	byName := map[string]*kernelGolden{}
+	for _, k := range snap.Log {
+		instrs += k.WarpInstrs
+		g := byName[k.Name]
+		if g == nil {
+			g = &kernelGolden{Name: k.Name}
+			byName[k.Name] = g
+		}
+		g.Launches++
+		g.WarpInstrs += k.WarpInstrs
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	e := goldenEntry{
+		Cycles:       snap.Cycles,
+		WarpInstrs:   instrs,
+		IPCMilli:     instrs * 1000 / snap.Cycles,
+		L1Accesses:   snap.Stats.L1Accesses,
+		L2Accesses:   snap.Stats.L2Accesses,
+		DRAMAccesses: snap.Stats.DRAMAccesses,
+	}
+	if e.L2Accesses > 0 {
+		e.L2MissRate = float64(e.DRAMAccesses*10000/e.L2Accesses) / 10000
+	}
+	for _, n := range names {
+		e.PerKernel = append(e.PerKernel, *byName[n])
+	}
+	return e
+}
+
+// TestGoldenStats locks in the cycle/IPC/L2 numbers of one GEMM, one
+// LeNet conv layer and the stream-overlapped transformer encoder under
+// the GTX 1050 model so silent timing drifts fail CI. Run with -update
+// to accept an intentional modelling change.
 func TestGoldenStats(t *testing.T) {
 	got := map[string]goldenEntry{
-		"gemm_64x48x56":     goldenRun(t, gemmLoad),
-		"lenet_conv1_igemm": goldenRun(t, lenetConvLoad),
+		"gemm_64x48x56":               goldenRun(t, gemmLoad),
+		"lenet_conv1_igemm":           goldenRun(t, lenetConvLoad),
+		"transformer_encoder_streams": goldenTransformer(t),
 	}
 	path := filepath.Join("testdata", "golden_stats.json")
 

@@ -1,0 +1,619 @@
+package torch
+
+// Transformer-inference modules: LayerNorm, GELU, multi-head attention,
+// the pre-LN encoder block, the embedding table, and a small encoder
+// model able to overlap per-sequence forward passes on CUDA streams.
+// Every module carries the same ForwardCPU self-check oracle contract as
+// the convolutional layers; Backward is not implemented — the workload
+// family is inference-only, matching the paper's deployed-model focus.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cudart"
+	"repro/internal/cudnn"
+	"repro/internal/ref"
+)
+
+// errInferenceOnly is returned by Backward on inference-only modules.
+func errInferenceOnly(m Module) error {
+	return fmt.Errorf("torch: %T is inference-only (no backward pass)", m)
+}
+
+// validateTokenIDs rejects ids outside [0, vocab) before they reach the
+// device: the gather kernel does no bounds check, and an out-of-range id
+// would silently read past the table (and panic the CPU oracle).
+func validateTokenIDs(ids []int32, vocab int) error {
+	for i, id := range ids {
+		if id < 0 || int(id) >= vocab {
+			return fmt.Errorf("torch: token id %d at position %d outside vocabulary [0, %d)", id, i, vocab)
+		}
+	}
+	return nil
+}
+
+// LayerNorm normalises the trailing dimension of a [rows, Dim] tensor.
+type LayerNorm struct {
+	Dev   *Device
+	Dim   int
+	Eps   float32
+	Gamma *Param
+	Beta  *Param
+}
+
+// NewLayerNorm builds a layer norm with γ=1, β=0.
+func NewLayerNorm(dev *Device, dim int) (*LayerNorm, error) {
+	ones := make([]float32, dim)
+	for i := range ones {
+		ones[i] = 1
+	}
+	g, err := dev.FromHost(ones, dim)
+	if err != nil {
+		return nil, err
+	}
+	b, err := dev.Zeros(dim)
+	if err != nil {
+		return nil, err
+	}
+	return &LayerNorm{Dev: dev, Dim: dim, Eps: 1e-5,
+		Gamma: &Param{W: g, Name: "ln.gamma"},
+		Beta:  &Param{W: b, Name: "ln.beta"}}, nil
+}
+
+// Forward implements Module.
+func (l *LayerNorm) Forward(x *Tensor) (*Tensor, error) {
+	rows := x.Count() / l.Dim
+	y, err := l.Dev.NewTensor(x.Shape...)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Dev.H.LayerNormForward(x.Ptr, l.Gamma.W.Ptr, l.Beta.W.Ptr, y.Ptr, rows, l.Dim, l.Eps); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// Backward implements Module.
+func (l *LayerNorm) Backward(dy *Tensor) (*Tensor, error) { return nil, errInferenceOnly(l) }
+
+// Params implements Module.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }
+
+// ForwardCPU implements Module.
+func (l *LayerNorm) ForwardCPU(x []float32, shape []int) ([]float32, []int) {
+	rows := len(x) / l.Dim
+	return ref.LayerNorm(x, l.Gamma.W.ToHost(), l.Beta.W.ToHost(), rows, l.Dim, l.Eps), shape
+}
+
+// GELU is the tanh-form GELU activation.
+type GELU struct {
+	Dev *Device
+}
+
+// Forward implements Module.
+func (g *GELU) Forward(x *Tensor) (*Tensor, error) {
+	y, err := g.Dev.NewTensor(x.Shape...)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Dev.H.GeluForward(x.Ptr, y.Ptr, x.Count()); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// Backward implements Module.
+func (g *GELU) Backward(dy *Tensor) (*Tensor, error) { return nil, errInferenceOnly(g) }
+
+// Params implements Module.
+func (g *GELU) Params() []*Param { return nil }
+
+// ForwardCPU implements Module.
+func (g *GELU) ForwardCPU(x []float32, shape []int) ([]float32, []int) {
+	return ref.Gelu(x), shape
+}
+
+// projection is one [In, Out] dense weight + bias applied with the tiled
+// SGEMM kernel (one launch per matrix, unlike Linear's per-row GEMV —
+// transformer projections are batched over the whole sequence).
+type projection struct {
+	W *Param
+	B *Param
+}
+
+func newProjection(dev *Device, rng *rand.Rand, in, out int, name string) (*projection, error) {
+	w, err := dev.NewTensor(in, out)
+	if err != nil {
+		return nil, err
+	}
+	b, err := dev.Zeros(out)
+	if err != nil {
+		return nil, err
+	}
+	w.RandInit(rng, float32(math.Sqrt(2.0/float64(in))))
+	return &projection{
+		W: &Param{W: w, Name: name + ".weight"},
+		B: &Param{W: b, Name: name + ".bias"},
+	}, nil
+}
+
+// apply computes y = x·W + b for x[rows, in] on the device.
+func (p *projection) apply(dev *Device, x *Tensor, rows, in, out int) (*Tensor, error) {
+	y, err := dev.NewTensor(rows, out)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.H.Gemm(x.Ptr, p.W.W.Ptr, y.Ptr, rows, out, in, 1, 0); err != nil {
+		return nil, err
+	}
+	yd := cudnn.TensorDesc{N: rows, C: out, H: 1, W: 1}
+	if err := dev.H.AddTensor(p.B.W.Ptr, y.Ptr, yd); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// applyCPU mirrors apply on the host.
+func (p *projection) applyCPU(x []float32, rows, in, out int) []float32 {
+	y := make([]float32, rows*out)
+	ref.Gemm(x, p.W.W.ToHost(), y, rows, out, in, 1, 0)
+	ref.AddBias(y, p.B.W.ToHost(), rows, out, 1)
+	return y
+}
+
+// MultiHeadAttention is scaled dot-product self-attention over a
+// [seq, DModel] activation: per-head Q·Kᵀ via the NT strided-batched
+// GEMM, row-softmax, probabilities·V via the NN strided-batched GEMM,
+// with split/merge head permutes and four dense projections.
+type MultiHeadAttention struct {
+	Dev    *Device
+	Heads  int
+	DModel int
+	Wq     *projection
+	Wk     *projection
+	Wv     *projection
+	Wo     *projection
+}
+
+// NewMultiHeadAttention builds the four projections; dModel must divide
+// evenly into heads.
+func NewMultiHeadAttention(dev *Device, rng *rand.Rand, heads, dModel int) (*MultiHeadAttention, error) {
+	if dModel%heads != 0 {
+		return nil, fmt.Errorf("torch: dModel %d not divisible by %d heads", dModel, heads)
+	}
+	m := &MultiHeadAttention{Dev: dev, Heads: heads, DModel: dModel}
+	var err error
+	for _, p := range []struct {
+		dst  **projection
+		name string
+	}{{&m.Wq, "attn.q"}, {&m.Wk, "attn.k"}, {&m.Wv, "attn.v"}, {&m.Wo, "attn.out"}} {
+		if *p.dst, err = newProjection(dev, rng, dModel, dModel, p.name); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Forward implements Module for x of shape [seq, DModel].
+func (m *MultiHeadAttention) Forward(x *Tensor) (*Tensor, error) {
+	seq := x.Dim(0)
+	dm := m.DModel
+	dh := dm / m.Heads
+	h := m.Dev.H
+
+	q, err := m.Wq.apply(m.Dev, x, seq, dm, dm)
+	if err != nil {
+		return nil, err
+	}
+	k, err := m.Wk.apply(m.Dev, x, seq, dm, dm)
+	if err != nil {
+		return nil, err
+	}
+	v, err := m.Wv.apply(m.Dev, x, seq, dm, dm)
+	if err != nil {
+		return nil, err
+	}
+
+	// per-head layout [Heads, seq, dh]
+	heads := make([]*Tensor, 3)
+	for i, src := range []*Tensor{q, k, v} {
+		t, err := m.Dev.NewTensor(m.Heads, seq, dh)
+		if err != nil {
+			return nil, err
+		}
+		if err := h.SplitHeads(src.Ptr, t.Ptr, seq, m.Heads, dh); err != nil {
+			return nil, err
+		}
+		heads[i] = t
+	}
+	qh, kh, vh := heads[0], heads[1], heads[2]
+
+	// scores[h] = Qh·Khᵀ / sqrt(dh), then row softmax
+	scores, err := m.Dev.NewTensor(m.Heads, seq, seq)
+	if err != nil {
+		return nil, err
+	}
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	if err := h.GemmNTStridedBatched(qh.Ptr, kh.Ptr, scores.Ptr,
+		seq, seq, dh, seq*dh, seq*dh, seq*seq, m.Heads, scale, 0); err != nil {
+		return nil, err
+	}
+	probs, err := m.Dev.NewTensor(m.Heads, seq, seq)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.SoftmaxForward(scores.Ptr, probs.Ptr, m.Heads*seq, seq); err != nil {
+		return nil, err
+	}
+
+	// context[h] = probs·Vh, merged back to [seq, DModel]
+	ctxh, err := m.Dev.NewTensor(m.Heads, seq, dh)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.GemmStridedBatched(probs.Ptr, vh.Ptr, ctxh.Ptr,
+		seq, dh, seq, seq*seq, seq*dh, seq*dh, m.Heads, 1, 0); err != nil {
+		return nil, err
+	}
+	merged, err := m.Dev.NewTensor(seq, dm)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.MergeHeads(ctxh.Ptr, merged.Ptr, seq, m.Heads, dh); err != nil {
+		return nil, err
+	}
+	return m.Wo.apply(m.Dev, merged, seq, dm, dm)
+}
+
+// Backward implements Module.
+func (m *MultiHeadAttention) Backward(dy *Tensor) (*Tensor, error) { return nil, errInferenceOnly(m) }
+
+// Params implements Module.
+func (m *MultiHeadAttention) Params() []*Param {
+	return []*Param{m.Wq.W, m.Wq.B, m.Wk.W, m.Wk.B, m.Wv.W, m.Wv.B, m.Wo.W, m.Wo.B}
+}
+
+// ForwardCPU implements Module.
+func (m *MultiHeadAttention) ForwardCPU(x []float32, shape []int) ([]float32, []int) {
+	seq := shape[0]
+	dm := m.DModel
+	dh := dm / m.Heads
+	q := ref.SplitHeads(m.Wq.applyCPU(x, seq, dm, dm), seq, m.Heads, dh)
+	k := ref.SplitHeads(m.Wk.applyCPU(x, seq, dm, dm), seq, m.Heads, dh)
+	v := ref.SplitHeads(m.Wv.applyCPU(x, seq, dm, dm), seq, m.Heads, dh)
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	ctxh := make([]float32, m.Heads*seq*dh)
+	for hh := 0; hh < m.Heads; hh++ {
+		scores := make([]float32, seq*seq)
+		ref.GemmNT(q[hh*seq*dh:], k[hh*seq*dh:], scores, seq, seq, dh, scale, 0)
+		probs := ref.Softmax(scores, seq, seq)
+		ref.Gemm(probs, v[hh*seq*dh:(hh+1)*seq*dh], ctxh[hh*seq*dh:(hh+1)*seq*dh], seq, dh, seq, 1, 0)
+	}
+	merged := ref.MergeHeads(ctxh, seq, m.Heads, dh)
+	return m.Wo.applyCPU(merged, seq, dm, dm), shape
+}
+
+// TransformerBlock is one pre-LN encoder block:
+// h = x + Attn(LN1(x)); y = h + W2·GELU(W1·LN2(h)).
+type TransformerBlock struct {
+	Dev  *Device
+	Dm   int
+	Ff   int
+	Ln1  *LayerNorm
+	Attn *MultiHeadAttention
+	Ln2  *LayerNorm
+	Fc1  *projection
+	Fc2  *projection
+	Act  *GELU
+}
+
+// NewTransformerBlock builds one encoder block.
+func NewTransformerBlock(dev *Device, rng *rand.Rand, heads, dModel, ff int) (*TransformerBlock, error) {
+	ln1, err := NewLayerNorm(dev, dModel)
+	if err != nil {
+		return nil, err
+	}
+	attn, err := NewMultiHeadAttention(dev, rng, heads, dModel)
+	if err != nil {
+		return nil, err
+	}
+	ln2, err := NewLayerNorm(dev, dModel)
+	if err != nil {
+		return nil, err
+	}
+	fc1, err := newProjection(dev, rng, dModel, ff, "ff.fc1")
+	if err != nil {
+		return nil, err
+	}
+	fc2, err := newProjection(dev, rng, ff, dModel, "ff.fc2")
+	if err != nil {
+		return nil, err
+	}
+	return &TransformerBlock{Dev: dev, Dm: dModel, Ff: ff,
+		Ln1: ln1, Attn: attn, Ln2: ln2, Fc1: fc1, Fc2: fc2, Act: &GELU{Dev: dev}}, nil
+}
+
+// residual computes x + r into a fresh tensor.
+func (b *TransformerBlock) residual(x, r *Tensor) (*Tensor, error) {
+	y, err := b.Dev.NewTensor(x.Shape...)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Dev.H.ResidualAdd(x.Ptr, r.Ptr, y.Ptr, x.Count()); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// Forward implements Module for x of shape [seq, Dm].
+func (b *TransformerBlock) Forward(x *Tensor) (*Tensor, error) {
+	seq := x.Dim(0)
+	n1, err := b.Ln1.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	att, err := b.Attn.Forward(n1)
+	if err != nil {
+		return nil, err
+	}
+	h, err := b.residual(x, att)
+	if err != nil {
+		return nil, err
+	}
+	n2, err := b.Ln2.Forward(h)
+	if err != nil {
+		return nil, err
+	}
+	f1, err := b.Fc1.apply(b.Dev, n2, seq, b.Dm, b.Ff)
+	if err != nil {
+		return nil, err
+	}
+	a, err := b.Act.Forward(f1)
+	if err != nil {
+		return nil, err
+	}
+	f2, err := b.Fc2.apply(b.Dev, a, seq, b.Ff, b.Dm)
+	if err != nil {
+		return nil, err
+	}
+	return b.residual(h, f2)
+}
+
+// Backward implements Module.
+func (b *TransformerBlock) Backward(dy *Tensor) (*Tensor, error) { return nil, errInferenceOnly(b) }
+
+// Params implements Module.
+func (b *TransformerBlock) Params() []*Param {
+	out := append(b.Ln1.Params(), b.Attn.Params()...)
+	out = append(out, b.Ln2.Params()...)
+	return append(out, b.Fc1.W, b.Fc1.B, b.Fc2.W, b.Fc2.B)
+}
+
+// ForwardCPU implements Module.
+func (b *TransformerBlock) ForwardCPU(x []float32, shape []int) ([]float32, []int) {
+	seq := shape[0]
+	n1, _ := b.Ln1.ForwardCPU(x, shape)
+	att, _ := b.Attn.ForwardCPU(n1, shape)
+	h := ref.AddResidual(x, att)
+	n2, _ := b.Ln2.ForwardCPU(h, shape)
+	f1 := b.Fc1.applyCPU(n2, seq, b.Dm, b.Ff)
+	a := ref.Gelu(f1)
+	f2 := b.Fc2.applyCPU(a, seq, b.Ff, b.Dm)
+	return ref.AddResidual(h, f2), shape
+}
+
+// Embedding gathers learned [Vocab, Dim] rows by token id. It is not a
+// Module (its input is ids, not a float tensor); it exposes the same
+// Forward/ForwardCPU differential contract directly.
+type Embedding struct {
+	Dev   *Device
+	Vocab int
+	Dim   int
+	Table *Param
+}
+
+// NewEmbedding builds a randomly initialised embedding table.
+func NewEmbedding(dev *Device, rng *rand.Rand, vocab, dim int) (*Embedding, error) {
+	w, err := dev.NewTensor(vocab, dim)
+	if err != nil {
+		return nil, err
+	}
+	w.RandInit(rng, 0.5)
+	return &Embedding{Dev: dev, Vocab: vocab, Dim: dim,
+		Table: &Param{W: w, Name: "embed.table"}}, nil
+}
+
+// ForwardDevice gathers n pre-uploaded u32 ids into a [n, Dim] tensor
+// without any host-device synchronisation (stream-overlap safe).
+func (e *Embedding) ForwardDevice(ids uint64, n int) (*Tensor, error) {
+	y, err := e.Dev.NewTensor(n, e.Dim)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Dev.H.EmbeddingLookup(e.Table.W.Ptr, ids, y.Ptr, n, e.Dim); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// Forward uploads the ids and gathers their embedding rows.
+func (e *Embedding) Forward(ids []int32) (*Tensor, error) {
+	if err := validateTokenIDs(ids, e.Vocab); err != nil {
+		return nil, err
+	}
+	addr, err := e.Dev.UploadLabels(ids)
+	if err != nil {
+		return nil, err
+	}
+	return e.ForwardDevice(addr, len(ids))
+}
+
+// ForwardCPU is the host oracle of Forward.
+func (e *Embedding) ForwardCPU(ids []int32) ([]float32, []int) {
+	return ref.EmbeddingLookup(e.Table.W.ToHost(), ids, e.Dim), []int{len(ids), e.Dim}
+}
+
+// TransformerConfig sizes a TransformerEncoder.
+type TransformerConfig struct {
+	Layers int
+	Heads  int
+	DModel int
+	FF     int
+	Vocab  int
+	MaxSeq int
+}
+
+// TransformerEncoder is a small N-layer pre-LN encoder: token embedding
+// + learned positional embedding, Layers blocks, and a final LayerNorm.
+type TransformerEncoder struct {
+	Dev    *Device
+	Cfg    TransformerConfig
+	Embed  *Embedding
+	Pos    *Param
+	Blocks []*TransformerBlock
+	Final  *LayerNorm
+}
+
+// NewTransformerEncoder builds the model with deterministic rng-seeded
+// weights.
+func NewTransformerEncoder(dev *Device, rng *rand.Rand, cfg TransformerConfig) (*TransformerEncoder, error) {
+	emb, err := NewEmbedding(dev, rng, cfg.Vocab, cfg.DModel)
+	if err != nil {
+		return nil, err
+	}
+	pos, err := dev.NewTensor(cfg.MaxSeq, cfg.DModel)
+	if err != nil {
+		return nil, err
+	}
+	pos.RandInit(rng, 0.1)
+	enc := &TransformerEncoder{Dev: dev, Cfg: cfg, Embed: emb,
+		Pos: &Param{W: pos, Name: "embed.pos"}}
+	for i := 0; i < cfg.Layers; i++ {
+		blk, err := NewTransformerBlock(dev, rng, cfg.Heads, cfg.DModel, cfg.FF)
+		if err != nil {
+			return nil, err
+		}
+		enc.Blocks = append(enc.Blocks, blk)
+	}
+	if enc.Final, err = NewLayerNorm(dev, cfg.DModel); err != nil {
+		return nil, err
+	}
+	return enc, nil
+}
+
+// forwardDevice runs the encoder over pre-uploaded ids, launching only
+// kernels (no synchronising copies), so it can ride a CUDA stream.
+func (t *TransformerEncoder) forwardDevice(ids uint64, seq int) (*Tensor, error) {
+	if seq > t.Cfg.MaxSeq {
+		return nil, fmt.Errorf("torch: sequence length %d exceeds MaxSeq %d", seq, t.Cfg.MaxSeq)
+	}
+	e, err := t.Embed.ForwardDevice(ids, seq)
+	if err != nil {
+		return nil, err
+	}
+	x, err := t.Dev.NewTensor(seq, t.Cfg.DModel)
+	if err != nil {
+		return nil, err
+	}
+	// positional rows 0..seq-1 are the table prefix
+	if err := t.Dev.H.ResidualAdd(e.Ptr, t.Pos.W.Ptr, x.Ptr, seq*t.Cfg.DModel); err != nil {
+		return nil, err
+	}
+	for _, blk := range t.Blocks {
+		if x, err = blk.Forward(x); err != nil {
+			return nil, err
+		}
+	}
+	return t.Final.Forward(x)
+}
+
+// Forward runs one sequence of token ids through the encoder and returns
+// the [len(ids), DModel] activation tensor.
+func (t *TransformerEncoder) Forward(ids []int32) (*Tensor, error) {
+	if err := validateTokenIDs(ids, t.Cfg.Vocab); err != nil {
+		return nil, err
+	}
+	addr, err := t.Dev.UploadLabels(ids)
+	if err != nil {
+		return nil, err
+	}
+	return t.forwardDevice(addr, len(ids))
+}
+
+// ForwardCPU is the host oracle of Forward.
+func (t *TransformerEncoder) ForwardCPU(ids []int32) ([]float32, []int) {
+	seq := len(ids)
+	x, shape := t.Embed.ForwardCPU(ids)
+	pos := t.Pos.W.ToHost()
+	x = ref.AddResidual(x, pos[:seq*t.Cfg.DModel])
+	for _, blk := range t.Blocks {
+		x, shape = blk.ForwardCPU(x, shape)
+	}
+	x, shape = t.Final.ForwardCPU(x, shape)
+	return x, shape
+}
+
+// ForwardBatch runs several sequences through the encoder. With
+// concurrent=true each sequence's kernel chain is issued on its own CUDA
+// stream (via the handle's SetStream, the cudnnSetStream analog) so the
+// detailed timing model overlaps them; otherwise everything serialises
+// on the default stream. All id uploads happen before the first launch —
+// synchronous copies are device-synchronizing and would drain the
+// streams. Returns the downloaded [seq, DModel] outputs in input order.
+func (t *TransformerEncoder) ForwardBatch(batch [][]int32, concurrent bool) ([][]float32, error) {
+	ctx := t.Dev.Ctx
+	idBufs := make([]uint64, len(batch))
+	for i, ids := range batch {
+		if err := validateTokenIDs(ids, t.Cfg.Vocab); err != nil {
+			return nil, err
+		}
+		addr, err := t.Dev.UploadLabels(ids)
+		if err != nil {
+			return nil, err
+		}
+		idBufs[i] = addr
+	}
+	outs := make([]*Tensor, len(batch))
+	// the per-sequence streams are single-use; release their state (on
+	// every path) so repeated batches do not accumulate stream bookkeeping
+	var streams []cudart.Stream
+	defer func() {
+		for _, s := range streams {
+			ctx.StreamDestroy(s)
+		}
+	}()
+	for i, ids := range batch {
+		s := cudart.DefaultStream
+		if concurrent {
+			s = ctx.StreamCreate()
+			streams = append(streams, s)
+		}
+		t.Dev.H.SetStream(s)
+		y, err := t.forwardDevice(idBufs[i], len(ids))
+		if err != nil {
+			t.Dev.H.SetStream(cudart.DefaultStream)
+			return nil, err
+		}
+		outs[i] = y
+	}
+	t.Dev.H.SetStream(cudart.DefaultStream)
+	if err := ctx.DeviceSynchronize(); err != nil {
+		return nil, err
+	}
+	res := make([][]float32, len(batch))
+	for i, y := range outs {
+		res[i] = y.ToHost()
+	}
+	return res, nil
+}
+
+// Params returns every parameter of the encoder.
+func (t *TransformerEncoder) Params() []*Param {
+	out := []*Param{t.Embed.Table, t.Pos}
+	for _, blk := range t.Blocks {
+		out = append(out, blk.Params()...)
+	}
+	return append(out, t.Final.Params()...)
+}

@@ -1,0 +1,197 @@
+package torch_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/torch"
+)
+
+// transformer module differential tests: simulated Forward vs the
+// ForwardCPU host oracle for every new module, functional mode.
+
+func randInput(rng *rand.Rand, n int) []float32 {
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = rng.Float32()*2 - 1
+	}
+	return x
+}
+
+func TestLayerNormForwardMatchesCPU(t *testing.T) {
+	dev := newDev(t)
+	rng := rand.New(rand.NewSource(41))
+	for _, c := range []struct{ rows, dim int }{{1, 1}, {3, 8}, {4, 33}} {
+		ln, err := torch.NewLayerNorm(dev, c.dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randInput(rng, c.rows*c.dim)
+		moduleVsCPU(t, dev, ln, x, []int{c.rows, c.dim}, 1e-3)
+	}
+}
+
+func TestGELUForwardMatchesCPU(t *testing.T) {
+	dev := newDev(t)
+	x := []float32{-6, -2, -0.5, -0.044715, 0, 0.25, 1, 3, 8}
+	moduleVsCPU(t, dev, &torch.GELU{Dev: dev}, x, []int{1, len(x)}, 1e-4)
+}
+
+func TestMultiHeadAttentionForwardMatchesCPU(t *testing.T) {
+	dev := newDev(t)
+	rng := rand.New(rand.NewSource(43))
+	for _, c := range []struct{ seq, heads, dm int }{{1, 1, 4}, {6, 2, 8}, {5, 3, 15}} {
+		attn, err := torch.NewMultiHeadAttention(dev, rng, c.heads, c.dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randInput(rng, c.seq*c.dm)
+		moduleVsCPU(t, dev, attn, x, []int{c.seq, c.dm}, 2e-3)
+	}
+}
+
+func TestTransformerBlockForwardMatchesCPU(t *testing.T) {
+	dev := newDev(t)
+	rng := rand.New(rand.NewSource(44))
+	blk, err := torch.NewTransformerBlock(dev, rng, 2, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(rng, 5*8)
+	moduleVsCPU(t, dev, blk, x, []int{5, 8}, 5e-3)
+}
+
+func TestEmbeddingForwardMatchesCPU(t *testing.T) {
+	dev := newDev(t)
+	rng := rand.New(rand.NewSource(45))
+	emb, err := torch.NewEmbedding(dev, rng, 11, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int32{0, 10, 3, 3, 7}
+	y, err := emb.Forward(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, shape := emb.ForwardCPU(ids)
+	if y.Count() != len(want) || shape[0] != len(ids) || shape[1] != 6 {
+		t.Fatalf("shape mismatch: %v vs %v", y.Shape, shape)
+	}
+	got := y.ToHost()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("embedding[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTransformerEncoderForwardMatchesCPU(t *testing.T) {
+	dev := newDev(t)
+	rng := rand.New(rand.NewSource(46))
+	enc, err := torch.NewTransformerEncoder(dev, rng, torch.TransformerConfig{
+		Layers: 2, Heads: 2, DModel: 8, FF: 16, Vocab: 17, MaxSeq: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int32{1, 16, 4, 9, 0, 2}
+	y, err := enc.Forward(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := enc.ForwardCPU(ids)
+	got := y.ToHost()
+	if len(got) != len(want) {
+		t.Fatalf("output size %d, oracle %d", len(got), len(want))
+	}
+	for i := range want {
+		d := got[i] - want[i]
+		if d < -5e-3 || d > 5e-3 {
+			t.Fatalf("encoder mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if got := len(enc.Params()); got == 0 {
+		t.Fatal("encoder reports no parameters")
+	}
+}
+
+// TestTransformerForwardBatchRepeats runs several concurrent batches on
+// one encoder: per-batch streams are single-use (destroyed after the
+// drain), so repeated inference must keep working and stay stable.
+func TestTransformerForwardBatchRepeats(t *testing.T) {
+	dev := newDev(t)
+	rng := rand.New(rand.NewSource(48))
+	enc, err := torch.NewTransformerEncoder(dev, rng, torch.TransformerConfig{
+		Layers: 1, Heads: 2, DModel: 8, FF: 16, Vocab: 13, MaxSeq: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := [][]int32{{1, 5, 9}, {12, 0, 3}}
+	first, err := enc.ForwardBatch(batch, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := enc.ForwardBatch(batch, true)
+		if err != nil {
+			t.Fatalf("repeat %d: %v", i, err)
+		}
+		for s := range got {
+			for j := range got[s] {
+				if got[s][j] != first[s][j] {
+					t.Fatalf("repeat %d seq %d: output drifted at %d", i, s, j)
+				}
+			}
+		}
+	}
+}
+
+// TestTransformerRejectsBadTokenIDs pins the host-side bounds check: the
+// gather kernel itself has none, so out-of-range ids must fail fast.
+func TestTransformerRejectsBadTokenIDs(t *testing.T) {
+	dev := newDev(t)
+	rng := rand.New(rand.NewSource(49))
+	emb, err := torch.NewEmbedding(dev, rng, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := torch.NewTransformerEncoder(dev, rng, torch.TransformerConfig{
+		Layers: 1, Heads: 1, DModel: 4, FF: 8, Vocab: 7, MaxSeq: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ids := range [][]int32{{7}, {-1}, {0, 99}} {
+		if _, err := emb.Forward(ids); err == nil {
+			t.Fatalf("Embedding.Forward accepted out-of-range ids %v", ids)
+		}
+		if _, err := enc.Forward(ids); err == nil {
+			t.Fatalf("Encoder.Forward accepted out-of-range ids %v", ids)
+		}
+		if _, err := enc.ForwardBatch([][]int32{ids}, true); err == nil {
+			t.Fatalf("ForwardBatch accepted out-of-range ids %v", ids)
+		}
+	}
+}
+
+// TestTransformerInferenceOnlyBackward pins the inference-only contract:
+// Backward on the transformer modules reports a clear error instead of
+// silently corrupting state.
+func TestTransformerInferenceOnlyBackward(t *testing.T) {
+	dev := newDev(t)
+	rng := rand.New(rand.NewSource(47))
+	ln, err := torch.NewLayerNorm(dev, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := torch.NewTransformerBlock(dev, rng, 1, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []torch.Module{ln, &torch.GELU{Dev: dev}, blk} {
+		if _, err := m.Backward(nil); err == nil {
+			t.Fatalf("%T.Backward did not error", m)
+		}
+	}
+}

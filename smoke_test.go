@@ -82,7 +82,7 @@ func TestMainPackagesSmoke(t *testing.T) {
 	for _, name := range []string{
 		"gpgpusim", "mnistsim", "aerialvision", "convsample", "debugtool",
 		"quickstart", "lenet_mnist", "conv_algorithms", "checkpoint_resume",
-		"debug_workflow", "concurrent_streams",
+		"debug_workflow", "concurrent_streams", "transformer_inference",
 	} {
 		if _, err := os.Stat(filepath.Join(bin, name)); err != nil {
 			t.Errorf("binary %s not built: %v", name, err)
@@ -125,6 +125,83 @@ func TestMainPackagesSmoke(t *testing.T) {
 		out := runBinary(t, filepath.Join(bin, "concurrent_streams"))
 		if !strings.Contains(out, "overlap speedup") {
 			t.Fatalf("concurrent_streams did not report a speedup:\n%s", out)
+		}
+	})
+
+	t.Run("gpgpusim_workload_transformer", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "gpgpusim"),
+			"-workload", "transformer", "-streams", "2", "-j", "2")
+		for _, want := range []string{"transformer workload", "max |sim - cpu|", "overlap speedup"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in transformer workload output:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("transformer_inference", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "transformer_inference"))
+		for _, want := range []string{"transformer encoder", "warp instrs", "max |sim - cpu|", "overlap speedup"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in transformer_inference output:\n%s", want, out)
+			}
+		}
+	})
+
+	// the remaining fast binaries must emit their statistics output, not
+	// just exit 0 (lenet_mnist and conv_algorithms run for tens of
+	// seconds and stay build-only here)
+	t.Run("mnistsim", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "mnistsim"), "-images", "1")
+		for _, want := range []string{"self-check", "correlation", "cycles"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in mnistsim output:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("convsample", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "convsample"), "-c", "2", "-k", "2", "-hw", "12")
+		for _, want := range []string{"conv_sample", "cycles", "IPC"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in convsample output:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("debugtool", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "debugtool"))
+		if !strings.Contains(out, "first incorrectly executing kernel") &&
+			!strings.Contains(out, "first incorrectly executing instruction") &&
+			!strings.Contains(out, "incorrect") {
+			t.Fatalf("debugtool did not report a localised fault:\n%s", out)
+		}
+	})
+
+	t.Run("checkpoint_resume", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "checkpoint_resume"))
+		for _, want := range []string{"checkpoint", "resumed in performance mode", "cycles"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in checkpoint_resume output:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("debug_workflow", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "debug_workflow"))
+		if !strings.Contains(out, "faulty instruction") {
+			t.Fatalf("debug_workflow did not localise the fault:\n%s", out)
+		}
+	})
+
+	t.Run("aerialvision", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "aerial")
+		out := runBinary(t, filepath.Join(bin, "aerialvision"), "-o", dir)
+		if !strings.Contains(out, "wrote") {
+			t.Fatalf("aerialvision reported no files:\n%s", out)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil || len(entries) == 0 {
+			t.Fatalf("aerialvision wrote no CSVs (err=%v)", err)
 		}
 	})
 }
