@@ -115,6 +115,37 @@ func (c *smCore) removeCTA(slot *ctaSlot) {
 	}
 }
 
+// releaseBatchRefs drops the batch-lifetime references a core's reusable
+// per-cycle buffers keep beyond their logical length: retiredSlots holds
+// the last cycle's retired ctaSlots (whose warps pin their CTAs and
+// grid), slots' backing array can keep a stale tail after the in-place
+// retirement compaction, and memQ/atomQ entries point at warp contexts.
+// Without this, a drained batch stays pinned in memory until the next
+// drain happens to overwrite the same indices. Called at every batch
+// boundary (releaseQueue and abortBatch).
+func (c *smCore) releaseBatchRefs() {
+	rs := c.retiredSlots[:cap(c.retiredSlots)]
+	for i := range rs {
+		rs[i] = nil
+	}
+	c.retiredSlots = c.retiredSlots[:0]
+	sl := c.slots[len(c.slots):cap(c.slots)]
+	for i := range sl {
+		sl[i] = nil
+	}
+	mq := c.memQ[:cap(c.memQ)]
+	for i := range mq {
+		mq[i].w = nil
+		mq[i].in = nil
+	}
+	c.memQ = c.memQ[:0]
+	aq := c.atomQ[:cap(c.atomQ)]
+	for i := range aq {
+		aq[i] = nil
+	}
+	c.atomQ = c.atomQ[:0]
+}
+
 // stageIssue advances the core by one cycle: every scheduler picks at most
 // one ready warp and issues it. This is the parallel stage; it touches only
 // core-owned state (plus the functional machine, which is safe for

@@ -81,10 +81,22 @@ func (r *gridRun) finished() bool { return r.done >= r.total }
 // grid this degenerates to the classic single-kernel fill.
 type dispatcher struct {
 	runs []*gridRun // resident grids in submission order
+
+	// dirty records that placement capacity may have changed since the
+	// last fill: a grid was admitted or a CTA retired (freeing a slot,
+	// warp contexts and shared memory). canHold depends on nothing else,
+	// so while dirty is false a fill would place nothing and is skipped
+	// — the stalled-machine common case costs O(1) instead of
+	// O(runs × cores). The flag is driven purely by simulation events,
+	// so skipping keeps dispatch deterministic and cycle-identical.
+	dirty bool
 }
 
 // admit makes a grid resident.
-func (d *dispatcher) admit(r *gridRun) { d.runs = append(d.runs, r) }
+func (d *dispatcher) admit(r *gridRun) {
+	d.runs = append(d.runs, r)
+	d.dirty = true
+}
 
 // fill tops up the cores with CTAs. Grids are visited in submission
 // order; within a grid, CTAs go round-robin across cores in id order
@@ -94,6 +106,10 @@ func (d *dispatcher) admit(r *gridRun) { d.runs = append(d.runs, r) }
 // and shared memory, and the grid is below its own per-SM occupancy
 // limit on that core.
 func (d *dispatcher) fill(cfg *Config, cores []*smCore) {
+	if !d.dirty {
+		return
+	}
+	d.dirty = false
 	for _, r := range d.runs {
 		placed := true
 		for placed && !r.exhausted() {

@@ -183,10 +183,15 @@ type Ticket struct {
 	copyBytes int
 	copyApply func()
 
-	// prev is the immediately preceding operation on the same stream
-	// within the batch (nil for the stream's first op). Same-stream ops
-	// complete in order, so prev.done means every predecessor is done.
+	// prev/next link the operation to its same-stream neighbours within
+	// the batch (nil at the ends). Same-stream ops complete in order, so
+	// prev.done means every predecessor is done, and next is the ticket
+	// that becomes admission-eligible when this one retires. seq is the
+	// submission-queue index, used to restore submission order when
+	// several streams unblock in the same cycle (see schedule.go).
 	prev *Ticket
+	next *Ticket
+	seq  int
 
 	admitted   bool
 	startCycle uint64 // kernels: admission cycle; copies: transfer start
@@ -302,18 +307,21 @@ func (e *Engine) copyCycles(bytes int) uint64 {
 	return uint64(float64(bytes)/bpc + 0.5)
 }
 
-// linkStreams computes every ticket's same-stream predecessor so the
-// per-cycle admission scan is O(queue), not O(queue²).
-func (e *Engine) linkStreams() {
-	last := make(map[int]*Ticket)
-	for _, t := range e.queue {
-		t.prev = last[t.stream]
-		last[t.stream] = t
-	}
-}
-
 // drain is the engine's main loop: admit eligible operations, step the
 // machine cycle by cycle, retire operations, until the queue is empty.
+//
+// Per-cycle work is O(active grids + active copies + newly ready
+// tickets), not O(total queued tickets): the schedule (schedule.go)
+// tracks the first-unfinished cursor, the admission-ready list and the
+// in-flight copy list incrementally, so a transformer-scale batch of
+// hundreds of queued tickets costs the same per cycle as a single
+// kernel. Fully stalled stretches — every core waiting on memory and/or
+// the copy engine mid-transfer — fast-forward the clock to the next
+// event (earliest scoreboard wakeup, which already reflects partition
+// service times, or earliest copy completion) instead of ticking empty
+// cycles; the skipped cycles are charged to the stall statistics so the
+// modelled cycle counts and bucket sums are identical to a cycle-by-
+// cycle walk.
 func (e *Engine) drain(workers int) error {
 	if len(e.queue) == 0 {
 		return nil
@@ -328,7 +336,7 @@ func (e *Engine) drain(workers int) error {
 			nKernels++
 		}
 	}
-	e.linkStreams()
+	sch := newSchedule(e.queue)
 	for _, c := range e.cores {
 		for i := range c.scheds {
 			c.scheds[i].rr = 0
@@ -359,47 +367,38 @@ func (e *Engine) drain(workers int) error {
 	for {
 		// Complete in-flight copies (running their functional memory
 		// effect now that the modelled transfer has finished) and check
-		// for overall completion.
-		allDone := true
-		for _, t := range e.queue {
-			if t.done {
-				continue
-			}
-			if t.kind == opCopy && t.admitted && e.cycle >= t.endCycle {
-				if t.copyApply != nil {
-					t.copyApply()
-					t.copyApply = nil
-				}
-				t.stats.Cycles = t.endCycle - t.startCycle
-				t.done = true
-				continue
-			}
-			allDone = false
-		}
-		if allDone {
+		// for overall completion. O(active copies), and the cursor makes
+		// the completion check O(1) amortised.
+		sch.completeCopies(e.cycle)
+		if sch.drained() {
 			break
 		}
 
 		// Admit operations whose stream predecessor has retired, in
 		// submission order (the deterministic stream-ordered policy).
-		for _, t := range e.queue {
-			if t.done || t.admitted || (t.prev != nil && !t.prev.done) {
-				continue
-			}
-			if t.kind == opKernel {
-				t.startCycle = e.cycle
-				disp.admit(t.run)
-				t.admitted = true
-			} else {
-				start := e.cycle
-				if e.copyBusyUntil > start {
-					start = e.copyBusyUntil
+		// Only tickets that just became stream heads are visited.
+		if ready := sch.takeReady(); len(ready) > 0 {
+			for _, t := range ready {
+				if t.done || t.admitted {
+					continue
 				}
-				t.startCycle = start
-				t.endCycle = start + e.copyCycles(t.copyBytes)
-				e.copyBusyUntil = t.endCycle
-				t.admitted = true
+				if t.kind == opKernel {
+					t.startCycle = e.cycle
+					disp.admit(t.run)
+					t.admitted = true
+				} else {
+					start := e.cycle
+					if e.copyBusyUntil > start {
+						start = e.copyBusyUntil
+					}
+					t.startCycle = start
+					t.endCycle = start + e.copyCycles(t.copyBytes)
+					e.copyBusyUntil = t.endCycle
+					t.admitted = true
+					sch.addCopy(t)
+				}
 			}
+			sch.clearReady()
 		}
 
 		disp.fill(&e.cfg, e.cores)
@@ -409,17 +408,13 @@ func (e *Engine) drain(workers int) error {
 			// charging the bridged cycles to the stall statistics like
 			// the stalled-machine fast-forward below, so bucket sums
 			// keep matching elapsed cycles.
-			wake := ^uint64(0)
-			for _, t := range e.queue {
-				if !t.done && t.kind == opCopy && t.admitted && t.endCycle < wake {
-					wake = t.endCycle
-				}
-			}
+			wake := sch.earliestCopyEnd()
 			if wake == ^uint64(0) {
 				return e.abortBatch(m, fmt.Errorf("timing: drain stalled with pending work"), -1)
 			}
 			if wake > e.cycle {
 				e.stats.addIdleBulk(e.cycle, wake-e.cycle, e.cfg)
+				e.stats.FastForwardedCycles += wake - e.cycle
 				e.cycle = wake
 			}
 			continue
@@ -454,7 +449,12 @@ func (e *Engine) drain(workers int) error {
 			if len(c.memQ) > 0 {
 				anyMem = true
 			}
-			// CTA retirement, attributed per grid in canonical core order.
+			// CTA retirement, attributed per grid in canonical core
+			// order. A retirement frees placement capacity, so the
+			// dispatcher must re-run its fill next cycle.
+			if len(c.retiredSlots) > 0 {
+				disp.dirty = true
+			}
 			for _, s := range c.retiredSlots {
 				s.run.done++
 			}
@@ -485,7 +485,9 @@ func (e *Engine) drain(workers int) error {
 			p.run(nCores, func(i int) { e.cores[i].applyMem(now) })
 		}
 
-		// Retire finished grids in submission order.
+		// Retire finished grids in submission order; each retirement
+		// unblocks the next ticket on its stream for admission at the
+		// top of the next cycle.
 		for _, r := range disp.runs {
 			if r.finished() && !r.op.done {
 				end := now + 1
@@ -497,24 +499,42 @@ func (e *Engine) drain(workers int) error {
 				r.op.stats.WarpInstrs = instrs
 				r.op.done = true
 				e.stats.noteKernel(r.grid.Kernel.Name, r.op.stats.Cycles, instrs)
+				sch.complete(r.op)
 			}
 		}
 		disp.retire()
 
 		e.cycle++
 		if !anyIssued {
-			// fast-forward over a fully stalled machine, charging the
-			// skipped cycles to the stall statistics. In-flight copies
-			// bound the jump: their completion can admit new kernels.
+			// Idle-cycle fast-forward over a fully stalled machine: no
+			// scheduler issued, so the machine state cannot change until
+			// the earliest scoreboard wakeup (progressAt, which reflects
+			// partition service completion times folded in by applyMem)
+			// or the earliest copy completion (which can admit new
+			// kernels). Jump the clock there, charging the skipped
+			// cycles to the stall statistics so bucket sums still match
+			// elapsed cycles and modelled cycle counts are identical to
+			// a cycle-by-cycle walk.
 			wake := progressAt
-			for _, t := range e.queue {
-				if !t.done && t.kind == opCopy && t.admitted && t.endCycle < wake {
-					wake = t.endCycle
-				}
+			if cw := sch.earliestCopyEnd(); cw < wake {
+				wake = cw
 			}
-			if wake != ^uint64(0) && wake > e.cycle {
+			if wake == ^uint64(0) {
+				// No warp has a future ready time and no copy is in
+				// flight. If the batch just drained (a grid with no
+				// issuable work retired this cycle — e.g. a checkpoint
+				// resume whose CTAs were all pre-retired) or a
+				// retirement unblocked admissions, the next iteration
+				// makes progress. Otherwise the state is time-invariant
+				// and ticking to the cycle budget would just hang —
+				// abort now instead.
+				if !sch.drained() && len(sch.ready) == 0 {
+					return e.abortBatch(m, fmt.Errorf("timing: machine deadlocked with resident work"), -1)
+				}
+			} else if wake > e.cycle {
 				skip := wake - e.cycle
 				e.stats.addIdleBulk(e.cycle, skip, e.cfg)
+				e.stats.FastForwardedCycles += skip
 				e.cycle = wake
 			}
 		}
@@ -526,13 +546,16 @@ func (e *Engine) drain(workers int) error {
 }
 
 // releaseQueue empties the batch queue, dropping the references each
-// retired ticket holds (grid state, preload CTAs, prev chains) so a
+// retired ticket holds (grid state, preload CTAs, prev/next chains) so a
 // long-lived engine does not pin finished kernels in memory through the
-// slice backing array. Callers keep their tickets; only the stats and
-// error survive on them.
+// slice backing array. The cores' reusable per-cycle buffers (notably
+// retiredSlots, which still holds the last cycle's retired ctaSlots and
+// through them the grids) are cleared for the same reason. Callers keep
+// their tickets; only the stats and error survive on them.
 func (e *Engine) releaseQueue() {
 	for i, t := range e.queue {
 		t.prev = nil
+		t.next = nil
 		t.grid = nil
 		t.preload = nil
 		t.run = nil
@@ -541,6 +564,9 @@ func (e *Engine) releaseQueue() {
 	}
 	e.queue = e.queue[:0]
 	e.machine = nil
+	for _, c := range e.cores {
+		c.releaseBatchRefs()
+	}
 }
 
 // getPool returns the engine's worker pool, rebuilding it only when the
@@ -597,10 +623,12 @@ func (e *Engine) abortBatch(m *exec.Machine, cause error, runID int) error {
 		t.done = true
 	}
 	for _, c := range e.cores {
+		for i := range c.slots {
+			c.slots[i] = nil
+		}
 		c.slots = c.slots[:0]
 		c.warpsUsed = 0
 		c.smemUsed = 0
-		c.retiredSlots = c.retiredSlots[:0]
 		for i := range c.scheds {
 			sc := &c.scheds[i]
 			for j := range sc.cands {
@@ -609,9 +637,9 @@ func (e *Engine) abortBatch(m *exec.Machine, cause error, runID int) error {
 			sc.cands = sc.cands[:0]
 			sc.rr = 0
 		}
-		c.memQ = c.memQ[:0]
-		c.atomQ = c.atomQ[:0]
 		c.err = nil
+		// retiredSlots/memQ/atomQ backing refs are cleared by the
+		// releaseQueue call below (releaseBatchRefs per core).
 	}
 	// drop the killed in-flight copies' engine occupancy so it cannot
 	// leak into the next batch's transfer start times

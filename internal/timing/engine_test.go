@@ -215,6 +215,197 @@ func TestWarpBreakdownSeries(t *testing.T) {
 	}
 }
 
+// edgeHarness bundles a context + directly-driven engine (no runner)
+// with the stream test kernels registered, for queue-order edge cases.
+type edgeHarness struct {
+	t   *testing.T
+	ctx *cudart.Context
+	eng *timing.Engine
+}
+
+func newEdgeHarness(t *testing.T) *edgeHarness {
+	t.Helper()
+	ctx := cudart.NewContext(exec.BugSet{})
+	eng, err := timing.New(timing.GTX1050())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	for _, src := range []string{streamPTX, oobPTX} {
+		if _, err := ctx.RegisterModule(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &edgeHarness{t: t, ctx: ctx, eng: eng}
+}
+
+// alloc uploads a float32 buffer and returns its device pointer.
+func (h *edgeHarness) alloc(data []float32) uint64 {
+	h.t.Helper()
+	p, _ := h.ctx.Malloc(uint64(4 * len(data)))
+	h.ctx.MemcpyF32HtoD(p, data)
+	return p
+}
+
+// submitSqadd queues y[i] += x[i]*x[i] over n elements on a stream.
+func (h *edgeHarness) submitSqadd(stream int, px, py uint64, n int) *timing.Ticket {
+	h.t.Helper()
+	_, k, err := h.ctx.LookupKernel("sqadd")
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	p := cudart.NewParams().Ptr(px).Ptr(py).U32(uint32(n))
+	g, err := h.ctx.M.NewGrid(k, exec.Dim3{X: (n + 63) / 64}, exec.Dim3{X: 64}, p.Bytes(), 0)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	tk, err := h.eng.Submit(g, stream)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return tk
+}
+
+// submitOOB queues the mid-execution-faulting kernel on a stream.
+func (h *edgeHarness) submitOOB(stream int) *timing.Ticket {
+	h.t.Helper()
+	_, k, err := h.ctx.LookupKernel("oob")
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	g, err := h.ctx.M.NewGrid(k, exec.Dim3{X: 2}, exec.Dim3{X: 64}, cudart.NewParams().Bytes(), 0)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	tk, err := h.eng.Submit(g, stream)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return tk
+}
+
+// TestDrainQueueEdgeCases pins the submission-queue order semantics the
+// active-set scheduler must preserve in the corners: a ticket aborted
+// mid-drain takes the whole batch with it but leaves the engine
+// reusable, a copy submitted after its consumer kernel on the same
+// stream applies after it, a zero-size copy retires without wedging the
+// drain, and Drain is idempotent.
+func TestDrainQueueEdgeCases(t *testing.T) {
+	const n = 256
+	mkData := func(scale float32) []float32 {
+		d := make([]float32, n)
+		for i := range d {
+			d[i] = float32(i%7) * scale
+		}
+		return d
+	}
+
+	cases := []struct {
+		name string
+		run  func(t *testing.T, h *edgeHarness)
+	}{
+		{"ticket_aborted_mid_drain", func(t *testing.T, h *edgeHarness) {
+			good := h.submitSqadd(1, h.alloc(mkData(0.5)), h.alloc(mkData(0.25)), n)
+			bad := h.submitOOB(2)
+			trailing := h.eng.SubmitCopy(2, 64, func() { t.Error("copy behind the faulting kernel must not apply") })
+			if err := h.eng.Drain(); err == nil {
+				t.Fatal("expected the faulting batch to error")
+			}
+			for i, tk := range []*timing.Ticket{good, bad, trailing} {
+				if !tk.Done() {
+					t.Errorf("ticket %d not retired after the aborted drain", i)
+				}
+			}
+			if _, err := bad.Stats(); err == nil {
+				t.Error("faulting ticket reported no error")
+			}
+			if _, err := trailing.Stats(); err == nil {
+				t.Error("ticket queued behind the fault reported no error")
+			}
+			// The engine must stay usable: a fresh batch drains clean.
+			after := h.submitSqadd(1, h.alloc(mkData(0.5)), h.alloc(mkData(0.25)), n)
+			if err := h.eng.Drain(); err != nil {
+				t.Fatalf("engine unusable after aborted batch: %v", err)
+			}
+			if st, err := after.Stats(); err != nil || st.WarpInstrs == 0 {
+				t.Errorf("post-abort launch has no stats: %+v, %v", st, err)
+			}
+		}},
+		{"copy_after_consumer_kernel_same_stream", func(t *testing.T, h *edgeHarness) {
+			x, y := mkData(1), make([]float32, n)
+			px, py := h.alloc(x), h.alloc(y)
+			over := mkData(-2)
+			// The kernel consumes x; the overwrite of x is submitted
+			// after it on the same stream, so the kernel must read the
+			// original data and the final memory must show the copy.
+			k := h.submitSqadd(3, px, py, n)
+			c := h.eng.SubmitCopy(3, 4*n, func() { h.ctx.MemcpyF32HtoD(px, over) })
+			if err := h.eng.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if !k.Done() || !c.Done() {
+				t.Fatal("tickets not retired")
+			}
+			if kst, _ := k.Stats(); kst.Cycles == 0 {
+				t.Error("kernel skipped the detailed model")
+			}
+			if cst, _ := c.Stats(); cst.Cycles == 0 {
+				t.Error("copy occupied the engine for zero cycles")
+			}
+			gotY := h.ctx.MemcpyF32DtoH(py, n)
+			for i := range gotY {
+				want := x[i] * x[i] // kernel saw pre-copy x
+				if d := gotY[i] - want; d < -1e-5 || d > 1e-5 {
+					t.Fatalf("kernel observed the later copy: y[%d]=%v, want %v", i, gotY[i], want)
+				}
+			}
+			gotX := h.ctx.MemcpyF32DtoH(px, n)
+			for i := range gotX {
+				if gotX[i] != over[i] {
+					t.Fatalf("copy did not land after the kernel: x[%d]=%v, want %v", i, gotX[i], over[i])
+				}
+			}
+		}},
+		{"zero_size_copy", func(t *testing.T, h *edgeHarness) {
+			applied := false
+			c := h.eng.SubmitCopy(1, 0, func() { applied = true })
+			k := h.submitSqadd(1, h.alloc(mkData(1)), h.alloc(make([]float32, n)), n)
+			if err := h.eng.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if !applied {
+				t.Error("zero-size copy's apply never ran")
+			}
+			st, err := c.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Cycles != 0 {
+				t.Errorf("zero-size copy occupied %d cycles, want 0", st.Cycles)
+			}
+			if kst, _ := k.Stats(); kst.WarpInstrs == 0 {
+				t.Error("kernel behind the zero-size copy never ran")
+			}
+		}},
+		{"drain_called_twice", func(t *testing.T, h *edgeHarness) {
+			h.submitSqadd(1, h.alloc(mkData(1)), h.alloc(make([]float32, n)), n)
+			if err := h.eng.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			before := h.eng.Cycle()
+			if err := h.eng.Drain(); err != nil {
+				t.Fatalf("second Drain on an empty queue errored: %v", err)
+			}
+			if h.eng.Cycle() != before {
+				t.Errorf("empty Drain advanced the clock: %d -> %d", before, h.eng.Cycle())
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { tc.run(t, newEdgeHarness(t)) })
+	}
+}
+
 func TestDRAMSeriesPopulated(t *testing.T) {
 	ctx, h, eng := perfContext(t, timing.GTX1050())
 	n := 1 << 14

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cudart"
 	"repro/internal/cudnn"
+	"repro/internal/timing"
 )
 
 var update = flag.Bool("update", false, "regenerate testdata/golden_stats.json")
@@ -69,37 +70,11 @@ func lenetConvLoad(t *testing.T, ctx *cudart.Context, h *cudnn.Handle) (uint64, 
 	return py, yd.Count()
 }
 
-func goldenRun(t *testing.T, load func(*testing.T, *cudart.Context, *cudnn.Handle) (uint64, int)) goldenEntry {
-	t.Helper()
-	snap := runWorkload(t, 1, load)
-	var instrs uint64
-	for _, k := range snap.Log {
-		instrs += k.WarpInstrs
-	}
-	e := goldenEntry{
-		Cycles:       snap.Cycles,
-		WarpInstrs:   instrs,
-		IPCMilli:     instrs * 1000 / snap.Cycles,
-		L1Accesses:   snap.Stats.L1Accesses,
-		L2Accesses:   snap.Stats.L2Accesses,
-		DRAMAccesses: snap.Stats.DRAMAccesses,
-	}
-	if e.L2Accesses > 0 {
-		e.L2MissRate = float64(e.DRAMAccesses*10000/e.L2Accesses) / 10000
-	}
-	return e
-}
-
-// goldenTransformer pins the stream-overlapped transformer-encoder
-// forward batch (2 sequences on 2 concurrent streams, -j1), including
-// the per-kernel instruction counts of every kernel family it launches.
-func goldenTransformer(t *testing.T) goldenEntry {
-	t.Helper()
-	snap := runTransformer(t, 1, 2, true)
-	var instrs uint64
+// perKernelGolden aggregates a stats log by kernel name, sorted, for the
+// goldenEntry per-kernel pins.
+func perKernelGolden(log []cudart.KernelStats) []kernelGolden {
 	byName := map[string]*kernelGolden{}
-	for _, k := range snap.Log {
-		instrs += k.WarpInstrs
+	for _, k := range log {
 		g := byName[k.Name]
 		if g == nil {
 			g = &kernelGolden{Name: k.Name}
@@ -113,21 +88,61 @@ func goldenTransformer(t *testing.T) goldenEntry {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	out := make([]kernelGolden, 0, len(names))
+	for _, n := range names {
+		out = append(out, *byName[n])
+	}
+	return out
+}
+
+// makeGoldenEntry builds one workload's golden pins from its cycle
+// count, stats log and engine counters.
+func makeGoldenEntry(cycles uint64, log []cudart.KernelStats, st *timing.Stats, perKernel bool) goldenEntry {
+	var instrs uint64
+	for _, k := range log {
+		instrs += k.WarpInstrs
+	}
 	e := goldenEntry{
-		Cycles:       snap.Cycles,
+		Cycles:       cycles,
 		WarpInstrs:   instrs,
-		IPCMilli:     instrs * 1000 / snap.Cycles,
-		L1Accesses:   snap.Stats.L1Accesses,
-		L2Accesses:   snap.Stats.L2Accesses,
-		DRAMAccesses: snap.Stats.DRAMAccesses,
+		IPCMilli:     instrs * 1000 / cycles,
+		L1Accesses:   st.L1Accesses,
+		L2Accesses:   st.L2Accesses,
+		DRAMAccesses: st.DRAMAccesses,
 	}
 	if e.L2Accesses > 0 {
 		e.L2MissRate = float64(e.DRAMAccesses*10000/e.L2Accesses) / 10000
 	}
-	for _, n := range names {
-		e.PerKernel = append(e.PerKernel, *byName[n])
+	if perKernel {
+		e.PerKernel = perKernelGolden(log)
 	}
 	return e
+}
+
+func goldenRun(t *testing.T, load func(*testing.T, *cudart.Context, *cudnn.Handle) (uint64, int)) goldenEntry {
+	t.Helper()
+	snap := runWorkload(t, 1, load)
+	return makeGoldenEntry(snap.Cycles, snap.Log, &snap.Stats, false)
+}
+
+// goldenTransformer pins the stream-overlapped transformer-encoder
+// forward batch (2 sequences on 2 concurrent streams, -j1), including
+// the per-kernel instruction counts of every kernel family it launches.
+func goldenTransformer(t *testing.T) goldenEntry {
+	t.Helper()
+	snap := runTransformer(t, 1, 2, true)
+	return makeGoldenEntry(snap.Cycles, snap.Log, &snap.Stats, true)
+}
+
+// goldenStreams pins the concurrent_streams-shaped workload: three
+// streams each carrying an async host-device copy feeding a kernel, so
+// the copy engine, stream-ordered admission and the idle-cycle
+// fast-forward path (cores stalled while transfers are mid-flight) are
+// all locked by golden numbers beyond the transformer workload.
+func goldenStreams(t *testing.T) goldenEntry {
+	t.Helper()
+	snap := runStreams(t, 1, 3, true, true)
+	return makeGoldenEntry(snap.TotalCycles, snap.Log, &snap.Stats, true)
 }
 
 // TestGoldenStats locks in the cycle/IPC/L2 numbers of one GEMM, one
@@ -136,9 +151,10 @@ func goldenTransformer(t *testing.T) goldenEntry {
 // to accept an intentional modelling change.
 func TestGoldenStats(t *testing.T) {
 	got := map[string]goldenEntry{
-		"gemm_64x48x56":               goldenRun(t, gemmLoad),
-		"lenet_conv1_igemm":           goldenRun(t, lenetConvLoad),
-		"transformer_encoder_streams": goldenTransformer(t),
+		"gemm_64x48x56":                goldenRun(t, gemmLoad),
+		"lenet_conv1_igemm":            goldenRun(t, lenetConvLoad),
+		"transformer_encoder_streams":  goldenTransformer(t),
+		"concurrent_streams_asynccopy": goldenStreams(t),
 	}
 	path := filepath.Join("testdata", "golden_stats.json")
 

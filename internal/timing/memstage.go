@@ -157,6 +157,14 @@ func (c *smCore) memIssue(info *exec.StepInfo, w *warpCtx, now uint64) {
 // applyMem is phase 3: resolve every queued request's completion time and
 // write it back into the warp scoreboard, L1 and MSHR-retry state. Runs
 // per core, after the partition drain, in issue order.
+//
+// Invariant (idle-cycle fast-forward): every future event that could let
+// a warp issue again must land in the scoreboard/minIssueAt state here as
+// an absolute cycle number. The drain loop's fast-forward jumps the clock
+// to the minimum of these wakeups when no scheduler issued, so a memory
+// path that delayed a warp without recording a wakeup time would be
+// skipped over — changing modelled cycles — instead of merely costing
+// host time.
 func (c *smCore) applyMem(now uint64) {
 	e := c.eng
 	hitLat := uint64(e.cfg.L1HitLat)

@@ -49,6 +49,10 @@ func (p *partition) drain(cfg *Config) {
 }
 
 // service walks one segment through L2 and, on a miss, the DRAM channel.
+// The completion cycle it computes is final — nothing in the partition
+// re-times a segment later — which is what lets the drain loop's
+// idle-cycle fast-forward treat the warp scoreboard wakeups derived from
+// these times as the complete set of future machine events.
 func (p *partition) service(s *segRequest, cfg *Config) {
 	p.l2Accesses++
 	res, _ := p.l2.Access(s.addr, s.write)

@@ -1,0 +1,156 @@
+package timing
+
+import "sort"
+
+// schedule is the drain loop's active-set bookkeeping. The old loop made
+// three O(|queue|) passes over every submitted ticket each simulated
+// cycle (copy completion, admission, copy-wake computation); with the
+// transformer workload queueing hundreds of tickets per batch those scans
+// dominated drain time. The schedule replaces them with state whose size
+// tracks the *active* work only:
+//
+//   - cursor: the first-unfinished index into the submission queue. It
+//     only ever advances, so the "is everything retired?" check is O(1)
+//     amortised instead of a full-queue scan per cycle.
+//   - ready: tickets whose same-stream predecessor has retired and that
+//     are therefore eligible for admission. A ticket enters this list
+//     exactly once — when it becomes a stream head — so per-cycle
+//     admission work is O(newly ready), not O(|queue|).
+//   - copies: admitted, in-flight copy tickets. Completion checks and
+//     the fast-forward wake computation walk this list, which is bounded
+//     by the copy engine's occupancy, not the batch size.
+//
+// Determinism contract: the old loop admitted eligible tickets by
+// scanning the queue in submission order, so when several streams become
+// unblocked in the same cycle their next operations are admitted in
+// submission order. The ready list preserves that by tagging every
+// ticket with its submission sequence number and sorting the (tiny)
+// ready list by it before admission. Copy completions likewise run in
+// admission order, which equals submission order among copies. Any new
+// dispatch policy must keep admission, copy completion and retirement on
+// the coordinator in submission order — that is what keeps `-j1` vs
+// `-jN` byte-identical and the modelled cycle counts independent of this
+// rewrite.
+type schedule struct {
+	queue  []*Ticket
+	cursor int       // first submission-queue index not yet retired
+	ready  []*Ticket // admission-eligible tickets (sorted by seq at admit time)
+	copies []*Ticket // admitted in-flight copies, kept in submission order
+}
+
+// newSchedule links every ticket to its same-stream predecessor and
+// successor, assigns submission sequence numbers, and seeds the ready
+// list with the stream heads. O(|queue|) once per drain.
+func newSchedule(queue []*Ticket) *schedule {
+	s := &schedule{queue: queue}
+	last := make(map[int]*Ticket)
+	for i, t := range queue {
+		t.seq = i
+		t.next = nil
+		t.prev = last[t.stream]
+		if t.prev != nil {
+			t.prev.next = t
+		} else if !t.admitted && !t.done {
+			s.ready = append(s.ready, t)
+		}
+		last[t.stream] = t
+	}
+	return s
+}
+
+// complete records that ticket t retired: its same-stream successor (if
+// any) becomes admission-eligible, and the first-unfinished cursor
+// advances past every retired prefix ticket. The caller has already set
+// t.done. Amortised O(1): the cursor sweeps the queue once per drain.
+func (s *schedule) complete(t *Ticket) {
+	if t.next != nil {
+		s.ready = append(s.ready, t.next)
+	}
+	for s.cursor < len(s.queue) && s.queue[s.cursor].done {
+		s.cursor++
+	}
+}
+
+// drained reports whether every submitted ticket has retired.
+func (s *schedule) drained() bool { return s.cursor == len(s.queue) }
+
+// takeReady returns this cycle's admission-eligible tickets in
+// submission order and empties the list. Sorting restores submission
+// order when multiple streams unblocked in the same cycle (e.g. a copy
+// completion and a kernel retirement); the list length is bounded by the
+// number of active streams, so the sort is cheap.
+func (s *schedule) takeReady() []*Ticket {
+	if len(s.ready) > 1 {
+		sort.Slice(s.ready, func(i, j int) bool { return s.ready[i].seq < s.ready[j].seq })
+	}
+	return s.ready
+}
+
+// clearReady resets the ready list after admission, dropping the ticket
+// references so retired batches are not pinned by the backing array.
+func (s *schedule) clearReady() {
+	for i := range s.ready {
+		s.ready[i] = nil
+	}
+	s.ready = s.ready[:0]
+}
+
+// addCopy registers an admitted in-flight copy, inserting it at its
+// submission position. Admission order can deviate from submission
+// order across cycles (an earlier-submitted copy can be unblocked later
+// by its own stream), but completion must apply functional memory
+// effects in submission order when several transfers end on the same
+// cycle — the reference loop scanned the whole queue in submission
+// order, and TestCopyCompletionSubmissionOrder pins the difference.
+// O(active copies) insertion.
+func (s *schedule) addCopy(t *Ticket) {
+	i := len(s.copies)
+	for i > 0 && s.copies[i-1].seq > t.seq {
+		i--
+	}
+	s.copies = append(s.copies, nil)
+	copy(s.copies[i+1:], s.copies[i:])
+	s.copies[i] = t
+}
+
+// completeCopies finishes every in-flight copy whose modelled transfer
+// has ended by `cycle`: the functional memory effect runs now, in
+// submission order, and the ticket retires. Remaining copies stay in
+// submission order. O(active copies).
+func (s *schedule) completeCopies(cycle uint64) {
+	if len(s.copies) == 0 {
+		return
+	}
+	keep := s.copies[:0]
+	for _, t := range s.copies {
+		if cycle >= t.endCycle {
+			if t.copyApply != nil {
+				t.copyApply()
+				t.copyApply = nil
+			}
+			t.stats.Cycles = t.endCycle - t.startCycle
+			t.done = true
+			s.complete(t)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	for i := len(keep); i < len(s.copies); i++ {
+		s.copies[i] = nil
+	}
+	s.copies = keep
+}
+
+// earliestCopyEnd returns the next copy-completion cycle, or ^uint64(0)
+// when no copy is in flight. This bounds every idle-cycle fast-forward:
+// a completing copy can admit new kernels, so the clock may never jump
+// past it.
+func (s *schedule) earliestCopyEnd() uint64 {
+	wake := ^uint64(0)
+	for _, t := range s.copies {
+		if t.endCycle < wake {
+			wake = t.endCycle
+		}
+	}
+	return wake
+}

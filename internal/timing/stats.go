@@ -54,6 +54,14 @@ type Stats struct {
 	MSHRFull        uint64
 	IdleSlotCycles  uint64
 
+	// FastForwardedCycles counts cycles the drain loop's idle-cycle
+	// fast-forward bridged instead of ticking (machine fully stalled on
+	// memory and/or the copy engine). They are already charged to the
+	// stall series and IdleSlotCycles — this counter only reports how
+	// much simulated time the event jump skipped. Purely a wall-clock
+	// optimisation: modelled cycle counts are identical either way.
+	FastForwardedCycles uint64
+
 	coreIPC   [][]uint64 // [core][bucket] warp instructions issued
 	laneCount [][]uint64 // [active lanes 1..32 -> idx 0..31][bucket]
 	stalls    [numStallKinds][]uint64
@@ -154,6 +162,7 @@ func (s *Stats) merge(o *Stats) {
 	s.MemSegments += o.MemSegments
 	s.MSHRFull += o.MSHRFull
 	s.IdleSlotCycles += o.IdleSlotCycles
+	s.FastForwardedCycles += o.FastForwardedCycles
 	for c := range o.coreIPC {
 		s.coreIPC[c] = mergeSeries(s.coreIPC[c], o.coreIPC[c], o.base)
 	}

@@ -145,6 +145,7 @@ type streamSnapshot struct {
 	TotalCycles uint64
 	Log         []cudart.KernelStats
 	Outputs     [][]float32
+	Stats       timing.Stats
 }
 
 // runStreams executes `lanes` kernels over disjoint buffer pairs — one
@@ -215,6 +216,7 @@ func runStreams(t testing.TB, workers, lanes int, concurrent, asyncCopy bool) st
 	snap := streamSnapshot{
 		TotalCycles: eng.Cycle() - start,
 		Log:         append([]cudart.KernelStats(nil), ctx.KernelStatsLog()...),
+		Stats:       *eng.Stats(),
 	}
 	for i := range prep {
 		snap.Outputs = append(snap.Outputs, ctx.MemcpyF32DtoH(prep[i].py, streamN))
