@@ -11,7 +11,25 @@ import (
 
 	"repro/internal/aerial"
 	"repro/internal/core"
+	"repro/internal/cudart"
 )
+
+// writeKernelMem writes the per-kernel memory-counter table.
+func writeKernelMem(path string, kernels []cudart.KernelStats) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "kernel,l2_accesses,l2_hits,l2_misses,dram_accesses,dram_rowhits,mem_stall_cycles")
+	for _, k := range kernels {
+		fmt.Fprintf(f, "%s#%d,%d,%d,%d,%d,%d,%d\n",
+			k.Name, k.LaunchID, k.L2Accesses, k.L2Hits, k.L2Misses,
+			k.DRAMAccesses, k.DRAMRowHits, k.MemStallCycles)
+	}
+	fmt.Println("wrote", f.Name())
+}
 
 func main() {
 	dir := flag.String("dir", "fwd", "direction: fwd | bwddata | bwdfilter")
@@ -51,6 +69,10 @@ func main() {
 		write(fmt.Sprintf("dram_efficiency_p%d.csv", pi), labels, ch.EfficiencySeries())
 		write(fmt.Sprintf("dram_utilization_p%d.csv", pi), labels, ch.UtilizationSeries())
 	}
+	// per-kernel memory counters (bandwidth-aware hierarchy attribution):
+	// a tabular CSV with named columns, one row per launch — unlike the
+	// time-series files, where aerial.CSV's bucket-index header applies
+	writeKernelMem(filepath.Join(*out, "kernel_mem.csv"), res.Kernels)
 	write("global_ipc.csv", []string{"ipc"}, [][]float64{st.GlobalIPCSeries()})
 	shader := st.ShaderIPCSeries()
 	labels := make([]string, len(shader))

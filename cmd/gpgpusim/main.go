@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/aerial"
 	"repro/internal/core"
 	"repro/internal/cudart"
 	"repro/internal/exec"
@@ -26,7 +27,7 @@ func main() {
 	streams := flag.Int("streams", 1, "in -perf mode, launch the kernel once per stream on N concurrent CUDA streams (each with its own buffers) and report the overlap")
 	args := flag.String("args", "", "comma-separated kernel arguments: bufN (device buffer of N floats), iV (u32), fV (f32)")
 	dump := flag.Int("dump", 8, "floats to dump from each buffer argument after the run")
-	workload := flag.String("workload", "", "built-in workload instead of a PTX file: 'transformer' runs the encoder inference batch in the detailed model (-streams sequences, -j workers)")
+	workload := flag.String("workload", "", "built-in workload instead of a PTX file: 'transformer' runs the encoder inference batch in the detailed model (-streams sequences, -j workers); 'membound' sweeps a streaming kernel across occupancies to show load-dependent memory latency")
 	flag.Parse()
 
 	if *workload != "" {
@@ -129,9 +130,45 @@ func runWorkloadFlag(name string, workers, streams int) error {
 	switch name {
 	case "transformer":
 		return runTransformerWorkload(workers, streams)
+	case "membound":
+		return runMemBoundWorkload(workers)
 	default:
-		return fmt.Errorf("unknown workload %q (available: transformer)", name)
+		return fmt.Errorf("unknown workload %q (available: transformer, membound)", name)
 	}
+}
+
+// runMemBoundWorkload sweeps the streaming strided_saxpy kernel across
+// occupancy levels on the GTX 1050 model, demonstrating the
+// bandwidth-aware memory hierarchy: average segment latency rises with
+// load instead of staying at the unloaded L2/DRAM latency.
+func runMemBoundWorkload(workers int) error {
+	ctas := []int{1, 8, 40, 160}
+	res, err := core.RunMemBound(core.GTX1050, workers, 64, 1, ctas)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("membound workload: streaming strided_saxpy, %d threads/CTA, stride %d\n",
+		res.Threads, res.Stride)
+	fmt.Printf("%-6s %10s %14s %14s %12s\n", "ctas", "cycles", "avg_seg_lat", "ingress_stall", "dram_rowhit")
+	var rows []aerial.KernelMemRow
+	for _, p := range res.Points {
+		fmt.Printf("%-6d %10d %14.1f %14d %12d\n",
+			p.CTAs, p.Cycles, p.AvgSegLatency, p.IngressStalls, p.Kernel.DRAMRowHits)
+		rows = append(rows, aerial.KernelMemRow{
+			Name:           fmt.Sprintf("saxpy_ctas%d", p.CTAs),
+			Launches:       1,
+			L2Accesses:     p.Kernel.L2Accesses,
+			L2Hits:         p.Kernel.L2Hits,
+			DRAMAccesses:   p.Kernel.DRAMAccesses,
+			DRAMRowHits:    p.Kernel.DRAMRowHits,
+			MemStallCycles: p.Kernel.MemStallCycles,
+		})
+	}
+	lo, hi := res.Points[0], res.Points[len(res.Points)-1]
+	fmt.Printf("load-dependent latency: %.1f cycles at %d CTAs -> %.1f cycles at %d CTAs (%.2fx)\n",
+		lo.AvgSegLatency, lo.CTAs, hi.AvgSegLatency, hi.CTAs, hi.AvgSegLatency/lo.AvgSegLatency)
+	aerial.KernelMemSummary(os.Stdout, "per-kernel memory counters", rows)
+	return nil
 }
 
 // runTransformerWorkload runs the transformer-encoder inference batch in

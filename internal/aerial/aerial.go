@@ -99,6 +99,40 @@ func StackedSummary(w io.Writer, title string, names []string, series [][]float6
 	}
 }
 
+// KernelMemRow is one kernel's memory-system summary for KernelMemSummary
+// (mirrors the timing engine's per-kernel MemCounters without importing
+// the timing package).
+type KernelMemRow struct {
+	Name           string
+	Launches       uint64
+	L2Accesses     uint64
+	L2Hits         uint64
+	DRAMAccesses   uint64
+	DRAMRowHits    uint64
+	MemStallCycles uint64
+}
+
+// KernelMemSummary renders the per-kernel memory counters the paper's
+// memory-behavior study revolves around: L2 hit rate, DRAM row-buffer
+// locality, and the cycles each kernel's segments spent stalled on
+// partition ingress/port/MSHR reservations.
+func KernelMemSummary(w io.Writer, title string, rows []KernelMemRow) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%-24s %8s %10s %8s %10s %8s %12s\n",
+		"kernel", "launches", "l2_acc", "l2_hit%", "dram", "rowhit%", "mem_stall_cy")
+	pct := func(n, d uint64) string {
+		if d == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f", 100*float64(n)/float64(d))
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %8d %10d %8s %10d %8s %12d\n",
+			r.Name, r.Launches, r.L2Accesses, pct(r.L2Hits, r.L2Accesses),
+			r.DRAMAccesses, pct(r.DRAMRowHits, r.DRAMAccesses), r.MemStallCycles)
+	}
+}
+
 // CSV writes rows as CSV with a header of bucket indices.
 func CSV(w io.Writer, rowNames []string, rows [][]float64) error {
 	width := 0

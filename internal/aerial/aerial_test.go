@@ -64,6 +64,20 @@ func TestCSV(t *testing.T) {
 	}
 }
 
+func TestKernelMemSummary(t *testing.T) {
+	var b strings.Builder
+	KernelMemSummary(&b, "mem", []KernelMemRow{
+		{Name: "saxpy", Launches: 2, L2Accesses: 100, L2Hits: 25, DRAMAccesses: 75, DRAMRowHits: 30, MemStallCycles: 12},
+		{Name: "cold", Launches: 1}, // zero traffic: rates must render n/a, not NaN
+	})
+	out := b.String()
+	for _, want := range []string{"saxpy", "25.0", "40.0", "12", "n/a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in summary:\n%s", want, out)
+		}
+	}
+}
+
 func TestStackedSummarySkipsZeroRows(t *testing.T) {
 	var b strings.Builder
 	StackedSummary(&b, "warp", []string{"used", "empty"},

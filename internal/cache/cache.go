@@ -133,8 +133,10 @@ func (c *Cache) Access(addr uint64, write bool) (AccessResult, bool) {
 }
 
 // Fill installs a fetched line and clears its MSHR. It reports whether an
-// evicted dirty line must be written back.
-func (c *Cache) Fill(addr uint64, write bool) bool {
+// evicted dirty line must be written back and, when so, the victim line's
+// address — the memory system turns that into real writeback traffic on
+// the DRAM channel instead of letting the eviction silently vanish.
+func (c *Cache) Fill(addr uint64, write bool) (writeback bool, victimAddr uint64) {
 	lineAddr := c.LineAddr(addr)
 	delete(c.mshrs, lineAddr)
 	set, tag := c.index(addr)
@@ -153,13 +155,14 @@ func (c *Cache) Fill(addr uint64, write bool) bool {
 		}
 	}
 	v := &c.sets[set][victim]
-	writeback := v.valid && v.dirty
+	writeback = v.valid && v.dirty
 	if writeback {
 		c.Stats.Writebacks++
+		victimAddr = (v.tag*uint64(c.nsets) + uint64(set)) * uint64(c.cfg.LineBytes)
 	}
 	c.tick++
 	*v = line{valid: true, tag: tag, lru: c.tick, dirty: write && c.cfg.WriteBack}
-	return writeback
+	return writeback, victimAddr
 }
 
 // PendingMisses returns the number of occupied MSHRs.

@@ -78,15 +78,45 @@ func TestWriteBackDirtyEviction(t *testing.T) {
 	cfg.WriteBack = true
 	c := mustCache(t, cfg)
 	c.Access(0x0000, true)
-	wb := c.Fill(0x0000, true) // dirty line installed
+	wb, _ := c.Fill(0x0000, true) // dirty line installed
 	if wb {
 		t.Fatal("filling into an empty way must not write back")
 	}
 	c.Access(0x0200, false)
 	c.Fill(0x0200, false)
 	c.Access(0x0400, false)
-	if wb := c.Fill(0x0400, false); !wb {
+	wb, victim := c.Fill(0x0400, false)
+	if !wb {
 		t.Fatal("evicting the dirty line must signal a writeback")
+	}
+	if victim != 0x0000 {
+		t.Fatalf("writeback victim address = %#x, want %#x (the dirty line)", victim, 0x0000)
+	}
+}
+
+// TestWritebackVictimAddress pins the victim-address reconstruction from
+// (tag, set) across several sets and offsets: the address handed to the
+// DRAM writeback path must be the line base of the evicted line.
+func TestWritebackVictimAddress(t *testing.T) {
+	cfg := smallCfg() // 8 sets x 64B lines x 2 ways
+	cfg.WriteBack = true
+	for _, base := range []uint64{0x00C0, 0x1040, 0x7FC0} {
+		c := mustCache(t, cfg)
+		c.Access(base+7, true) // dirty, unaligned offset inside the line
+		c.Fill(base+7, true)
+		// two more lines in the same set evict the dirty one (assoc 2)
+		for i := uint64(1); i <= 2; i++ {
+			c.Access(base+i*512, false)
+			wb, victim := c.Fill(base+i*512, false)
+			if i == 2 {
+				if !wb {
+					t.Fatalf("base %#x: dirty line not evicted", base)
+				}
+				if want := base &^ 63; victim != want {
+					t.Fatalf("base %#x: victim = %#x, want line base %#x", base, victim, want)
+				}
+			}
+		}
 	}
 }
 

@@ -27,6 +27,18 @@ type KernelStats struct {
 	BlockDim   exec.Dim3
 	Cycles     uint64 // 0 in functional mode
 	WarpInstrs uint64
+
+	// Per-kernel memory-system counters, attributed by the timing
+	// engine's partition shards (all 0 in functional mode): L2 outcomes,
+	// DRAM demand traffic and row-buffer locality, and cycles this
+	// kernel's segments spent stalled on partition ingress/port/MSHR
+	// reservations.
+	L2Accesses     uint64
+	L2Hits         uint64
+	L2Misses       uint64
+	DRAMAccesses   uint64
+	DRAMRowHits    uint64
+	MemStallCycles uint64
 }
 
 // Runner executes a prepared grid. Functional and timing modes implement

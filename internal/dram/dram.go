@@ -14,7 +14,15 @@ type Config struct {
 	TRP        int // precharge
 	TCL        int // CAS latency
 	TBurst     int // data-transfer cycles per access
-	QueueDepth int
+	QueueDepth int // channel request-queue slots (full queue back-pressures arrivals)
+
+	// FR-FCFS knobs for ServiceBatch: within a bank, a row hit may be
+	// scheduled ahead of up to ReorderWindow-1 older requests, but a
+	// request bypassed StarveLimit times becomes a barrier and must be
+	// serviced next (the starvation bound). ReorderWindow <= 1 degrades
+	// to pure in-order open-page scheduling.
+	ReorderWindow int
+	StarveLimit   int
 }
 
 // DefaultConfig mirrors GDDR5-ish timings at core clock.
@@ -22,8 +30,24 @@ func DefaultConfig() Config {
 	return Config{
 		NumBanks: 8, RowBytes: 2048,
 		TRCD: 12, TRP: 12, TCL: 12, TBurst: 4,
-		QueueDepth: 32,
+		QueueDepth:    32,
+		ReorderWindow: 8,
+		StarveLimit:   4,
 	}
+}
+
+// Req is one request inside a ServiceBatch call. Arrive/Addr/Write are
+// inputs; Done and RowHit are written by the scheduler. The bypass count
+// is scheduler-internal (FR-FCFS starvation bound).
+type Req struct {
+	Arrive uint64
+	Addr   uint64
+	Write  bool
+
+	Done   uint64
+	RowHit bool
+
+	bypass int
 }
 
 // BankStats accumulates one bank's counters, bucketed per sample interval
@@ -44,6 +68,14 @@ type Channel struct {
 	openRow   []int64  // -1 = closed
 	lastEnd   []uint64 // completion time of last request per bank (pending tracking)
 	busReady  uint64   // shared data bus availability
+
+	// queueFree is the finite request queue as an absolute-time resource:
+	// slot i holds the completion cycle of the request QueueDepth commits
+	// ago, so a new request cannot start before the oldest slot frees.
+	queueFree []uint64
+	queueHead int
+
+	bankQ [][]*Req // per-bank scratch queues for ServiceBatch
 
 	Banks []BankStats
 
@@ -67,6 +99,9 @@ func NewChannel(cfg Config, sampleInterval uint64) *Channel {
 	}
 	for i := range ch.openRow {
 		ch.openRow[i] = -1
+	}
+	if cfg.QueueDepth > 0 {
+		ch.queueFree = make([]uint64, cfg.QueueDepth)
 	}
 	if sampleInterval > 0 {
 		ch.busySeries = make([][]uint64, cfg.NumBanks)
@@ -96,36 +131,148 @@ func addToBucket(series *[][]uint64, bank int, idx uint64, v uint64) {
 }
 
 // Service schedules one request arriving at cycle `now` and returns its
-// completion cycle. Open-page policy: row hits skip ACT/PRE; the shared
-// data bus serialises bursts.
+// completion cycle — a batch of one (no reordering opportunity).
 func (ch *Channel) Service(now uint64, addr uint64, write bool) uint64 {
-	bank := ch.BankOf(addr)
-	row := ch.rowOf(addr)
-	start := now
+	r := Req{Arrive: now, Addr: addr, Write: write}
+	ch.commitReq(&r)
+	return r.Done
+}
+
+// ServiceBatch schedules a batch of requests with FR-FCFS bank ordering
+// and writes each request's completion cycle into Req.Done. The batch is
+// the bounded reorder window the memory partition presents each cycle (in
+// canonical core/issue order), so reordering inside it is deterministic.
+// Scheduling: per bank, the first row hit within ReorderWindow entries is
+// preferred over the bank's oldest request unless the oldest has already
+// been bypassed StarveLimit times (the starvation bound); across banks,
+// the candidate with the earliest achievable data-bus slot commits first
+// (ties to the lowest bank), so bank-parallel traffic interleaves on the
+// shared bus the way the per-request Service path did.
+func (ch *Channel) ServiceBatch(reqs []*Req) {
+	if len(reqs) == 0 {
+		return
+	}
+	if len(reqs) == 1 {
+		ch.commitReq(reqs[0])
+		return
+	}
+	if ch.bankQ == nil {
+		ch.bankQ = make([][]*Req, ch.cfg.NumBanks)
+	}
+	for _, r := range reqs {
+		r.bypass = 0
+		b := ch.BankOf(r.Addr)
+		ch.bankQ[b] = append(ch.bankQ[b], r)
+	}
+	for remaining := len(reqs); remaining > 0; remaining-- {
+		bestBank, bestIdx := -1, 0
+		var bestStart uint64
+		for b := range ch.bankQ {
+			q := ch.bankQ[b]
+			if len(q) == 0 {
+				continue
+			}
+			ci := ch.pickFRFCFS(b, q)
+			_, _, ds := ch.schedTimes(b, q[ci])
+			if bestBank < 0 || ds < bestStart {
+				bestBank, bestIdx, bestStart = b, ci, ds
+			}
+		}
+		q := ch.bankQ[bestBank]
+		for i := 0; i < bestIdx; i++ {
+			q[i].bypass++
+		}
+		ch.commitReq(q[bestIdx])
+		copy(q[bestIdx:], q[bestIdx+1:])
+		q[len(q)-1] = nil
+		ch.bankQ[bestBank] = q[:len(q)-1]
+	}
+}
+
+// pickFRFCFS selects the next request index for one bank's queue:
+// row-hit-first within the reorder window, bounded by the head's
+// starvation count.
+func (ch *Channel) pickFRFCFS(bank int, q []*Req) int {
+	w := ch.cfg.ReorderWindow
+	if w <= 1 {
+		return 0
+	}
+	if s := ch.cfg.StarveLimit; s > 0 && q[0].bypass >= s {
+		return 0
+	}
+	open := ch.openRow[bank]
+	if open < 0 {
+		return 0
+	}
+	if w > len(q) {
+		w = len(q)
+	}
+	for i := 0; i < w; i++ {
+		if ch.rowOf(q[i].Addr) == open {
+			return i
+		}
+	}
+	return 0
+}
+
+// schedTimes computes, without mutating channel state, the cycle a
+// request would occupy the bank command path (start), whether it row-hits
+// the currently open row, and the cycle its data burst would begin.
+// commitReq commits exactly these times, so the FR-FCFS cross-bank
+// arbitration in ServiceBatch always compares the schedule that would
+// actually be committed.
+func (ch *Channel) schedTimes(bank int, r *Req) (start uint64, rowHit bool, dataStart uint64) {
+	start = r.Arrive
+	// finite request queue: wait for the oldest slot to free
+	if len(ch.queueFree) > 0 {
+		if f := ch.queueFree[ch.queueHead]; f > start {
+			start = f
+		}
+	}
 	if ch.bankReady[bank] > start {
 		start = ch.bankReady[bank]
 	}
-	cmd := uint64(0)
-	st := &ch.Banks[bank]
-	if ch.openRow[bank] == row {
-		st.RowHits++
+	var cmd uint64
+	if ch.openRow[bank] == ch.rowOf(r.Addr) {
+		rowHit = true
 		cmd = uint64(ch.cfg.TCL)
 	} else {
 		if ch.openRow[bank] >= 0 {
 			cmd += uint64(ch.cfg.TRP)
 		}
 		cmd += uint64(ch.cfg.TRCD + ch.cfg.TCL)
-		ch.openRow[bank] = row
-		st.Activates++
 	}
-	dataStart := start + cmd
+	dataStart = start + cmd
 	if ch.busReady > dataStart {
 		dataStart = ch.busReady
+	}
+	return start, rowHit, dataStart
+}
+
+// commitReq schedules one request against the channel's absolute-time
+// resources (request-queue slot, bank, shared data bus) and records its
+// completion in r.Done. Open-page policy: row hits skip ACT/PRE; the
+// shared data bus serialises bursts.
+func (ch *Channel) commitReq(r *Req) {
+	now := r.Arrive
+	bank := ch.BankOf(r.Addr)
+	start, rowHit, dataStart := ch.schedTimes(bank, r)
+	st := &ch.Banks[bank]
+	r.RowHit = rowHit
+	if rowHit {
+		st.RowHits++
+	} else {
+		ch.openRow[bank] = ch.rowOf(r.Addr)
+		st.Activates++
 	}
 	end := dataStart + uint64(ch.cfg.TBurst)
 	ch.busReady = end
 	ch.bankReady[bank] = end
-	if write {
+	if len(ch.queueFree) > 0 {
+		ch.queueFree[ch.queueHead] = end
+		ch.queueHead = (ch.queueHead + 1) % len(ch.queueFree)
+	}
+	if r.Write {
 		st.Writes++
 	} else {
 		st.Reads++
@@ -136,6 +283,7 @@ func (ch *Channel) Service(now uint64, addr uint64, write bool) uint64 {
 		st.PendingCycles += end - now
 	}
 	ch.lastEnd[bank] = end
+	r.Done = end
 
 	if ch.interval > 0 {
 		// burst cycles to the bucket containing dataStart
@@ -157,7 +305,6 @@ func (ch *Channel) Service(now uint64, addr uint64, write bool) uint64 {
 			addToBucket(&ch.pendSeries, bank, b, span)
 		}
 	}
-	return end
 }
 
 // NumBanks returns the bank count.
@@ -240,6 +387,10 @@ func (ch *Channel) Reset() {
 		ch.Banks[i] = BankStats{}
 	}
 	ch.busReady = 0
+	for i := range ch.queueFree {
+		ch.queueFree[i] = 0
+	}
+	ch.queueHead = 0
 	if ch.interval > 0 {
 		ch.busySeries = make([][]uint64, ch.cfg.NumBanks)
 		ch.pendSeries = make([][]uint64, ch.cfg.NumBanks)

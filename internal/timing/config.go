@@ -35,6 +35,13 @@ type Config struct {
 	NumPartitions int
 	DRAM          dram.Config
 
+	// Memory-hierarchy contention knobs. Each is an absolute-time
+	// resource occupancy in core cycles per segment; 0 disables that
+	// resource (infinite bandwidth, the pre-contention model).
+	L2IngressCycles int // partition ingress slot held per arriving segment
+	L2PortCycles    int // L2 tag/data port held per access
+	L2RespCycles    int // NoC response port held per returning segment
+
 	// SampleInterval is the AerialVision bucket width in cycles.
 	SampleInterval int
 	ClockMHz       float64
@@ -53,12 +60,15 @@ func GTX1050() Config {
 		MaxCTAsPerSM: 8, MaxWarpsPerSM: 32, SharedMemPerSM: 64 << 10,
 		ALULat: 6, SFULat: 16, IntDivLat: 20, SharedLat: 24,
 		L1HitLat: 28, L2Lat: 120, NoCLat: 8,
-		L1:             cache.Config{SizeBytes: 48 << 10, LineBytes: 128, Assoc: 6, MSHRs: 32},
-		L2:             cache.Config{SizeBytes: 256 << 10, LineBytes: 128, Assoc: 8, MSHRs: 64, WriteBack: true},
-		NumPartitions:  4,
-		DRAM:           dram.DefaultConfig(),
-		SampleInterval: 500,
-		ClockMHz:       1392,
+		L1:              cache.Config{SizeBytes: 48 << 10, LineBytes: 128, Assoc: 6, MSHRs: 32},
+		L2:              cache.Config{SizeBytes: 256 << 10, LineBytes: 128, Assoc: 8, MSHRs: 64, WriteBack: true},
+		NumPartitions:   4,
+		DRAM:            dram.DefaultConfig(),
+		L2IngressCycles: 1,
+		L2PortCycles:    1,
+		L2RespCycles:    2,
+		SampleInterval:  500,
+		ClockMHz:        1392,
 	}
 }
 
@@ -71,11 +81,29 @@ func GTX1080Ti() Config {
 		MaxCTAsPerSM: 16, MaxWarpsPerSM: 64, SharedMemPerSM: 96 << 10,
 		ALULat: 6, SFULat: 16, IntDivLat: 20, SharedLat: 24,
 		L1HitLat: 28, L2Lat: 120, NoCLat: 10,
-		L1:             cache.Config{SizeBytes: 48 << 10, LineBytes: 128, Assoc: 6, MSHRs: 32},
-		L2:             cache.Config{SizeBytes: 256 << 10, LineBytes: 128, Assoc: 8, MSHRs: 64, WriteBack: true},
-		NumPartitions:  11,
-		DRAM:           dram.DefaultConfig(),
-		SampleInterval: 500,
-		ClockMHz:       1481,
+		L1:              cache.Config{SizeBytes: 48 << 10, LineBytes: 128, Assoc: 6, MSHRs: 32},
+		L2:              cache.Config{SizeBytes: 256 << 10, LineBytes: 128, Assoc: 8, MSHRs: 64, WriteBack: true},
+		NumPartitions:   11,
+		DRAM:            dram.DefaultConfig(),
+		L2IngressCycles: 1,
+		L2PortCycles:    1,
+		L2RespCycles:    2,
+		SampleInterval:  500,
+		ClockMHz:        1481,
 	}
+}
+
+// sectorBytes is the memory-system sector size: the granularity the
+// coalescer splits warp accesses into and the largest unit that is
+// guaranteed to live inside one L2 line (and therefore one partition).
+// The explicit rule is min(L1 line, L2 line): sectors then never straddle
+// an L2 line, so Engine.partOf's L2-line interleaving routes every sector
+// to exactly one partition regardless of how the two line sizes relate.
+// With the shipped configs (both 128B) this equals the old L1-line split.
+func (c *Config) sectorBytes() uint64 {
+	s := c.L1.LineBytes
+	if c.L2.LineBytes < s {
+		s = c.L2.LineBytes
+	}
+	return uint64(s)
 }

@@ -82,10 +82,8 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.parts = append(e.parts, &partition{
-			id: i, l2: l2,
-			ch: dram.NewChannel(cfg.DRAM, uint64(cfg.SampleInterval)),
-		})
+		e.parts = append(e.parts,
+			newPartition(i, l2, dram.NewChannel(cfg.DRAM, uint64(cfg.SampleInterval)), cfg.L2.MSHRs))
 	}
 	for _, o := range opts {
 		o(e)
@@ -337,6 +335,9 @@ func (e *Engine) drain(workers int) error {
 		}
 	}
 	sch := newSchedule(e.queue)
+	for _, pt := range e.parts {
+		pt.sizeKernelShard(nKernels)
+	}
 	for _, c := range e.cores {
 		for i := range c.scheds {
 			c.scheds[i].rr = 0
@@ -490,15 +491,7 @@ func (e *Engine) drain(workers int) error {
 		// top of the next cycle.
 		for _, r := range disp.runs {
 			if r.finished() && !r.op.done {
-				end := now + 1
-				var instrs uint64
-				for _, c := range e.cores {
-					instrs += c.runInstrs[r.id]
-				}
-				r.op.stats.Cycles = end - r.op.startCycle
-				r.op.stats.WarpInstrs = instrs
-				r.op.done = true
-				e.stats.noteKernel(r.grid.Kernel.Name, r.op.stats.Cycles, instrs)
+				e.finishRun(r, now)
 				sch.complete(r.op)
 			}
 		}
@@ -543,6 +536,39 @@ func (e *Engine) drain(workers int) error {
 	e.mergeShards(m)
 	e.releaseQueue()
 	return nil
+}
+
+// finishRun retires a finished grid at cycle now: per-core instruction
+// shards and per-partition memory-counter shards (both indexed by the
+// run's dense id) fold into the ticket stats and the engine's per-kernel
+// samples. Runs on the coordinator between cycle phases — partitions and
+// cores are idle — so reading the shards is race-free. Shared by the
+// production drain and the legacy reference loop so the two cannot
+// quietly diverge on retirement accounting.
+func (e *Engine) finishRun(r *gridRun, now uint64) {
+	end := now + 1
+	var instrs uint64
+	for _, c := range e.cores {
+		instrs += c.runInstrs[r.id]
+	}
+	var mem MemCounters
+	for _, pt := range e.parts {
+		if r.id >= 0 && r.id < len(pt.perKernel) {
+			mem.add(pt.perKernel[r.id])
+			pt.perKernel[r.id] = MemCounters{}
+		}
+	}
+	st := &r.op.stats
+	st.Cycles = end - r.op.startCycle
+	st.WarpInstrs = instrs
+	st.L2Accesses = mem.L2Accesses
+	st.L2Hits = mem.L2Hits
+	st.L2Misses = mem.L2Misses
+	st.DRAMAccesses = mem.DRAMAccesses
+	st.DRAMRowHits = mem.DRAMRowHits
+	st.MemStallCycles = mem.StallCycles
+	r.op.done = true
+	e.stats.noteKernel(r.grid.Kernel.Name, st.Cycles, instrs, mem)
 }
 
 // releaseQueue empties the batch queue, dropping the references each

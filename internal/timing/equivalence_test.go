@@ -47,6 +47,12 @@ func (e *Engine) drainLegacyForTest(workers int) error {
 		t.prev = last[t.stream]
 		last[t.stream] = t
 	}
+	// deviation (PR 5): the bandwidth-aware memory hierarchy shards
+	// per-kernel memory counters per partition; both loops must size the
+	// shards or retirement attribution would diverge.
+	for _, pt := range e.parts {
+		pt.sizeKernelShard(nKernels)
+	}
 	for _, c := range e.cores {
 		for i := range c.scheds {
 			c.scheds[i].rr = 0
@@ -203,18 +209,14 @@ func (e *Engine) drainLegacyForTest(workers int) error {
 			p.run(nCores, func(i int) { e.cores[i].applyMem(now) })
 		}
 
-		// Retire finished grids in submission order.
+		// Retire finished grids in submission order. deviation (PR 5):
+		// retirement accounting (instruction shards + per-partition
+		// memory-counter shards) moved into the shared finishRun helper
+		// so the reference cannot quietly diverge from production on the
+		// new per-kernel memory attribution.
 		for _, r := range disp.runs {
 			if r.finished() && !r.op.done {
-				end := now + 1
-				var instrs uint64
-				for _, c := range e.cores {
-					instrs += c.runInstrs[r.id]
-				}
-				r.op.stats.Cycles = end - r.op.startCycle
-				r.op.stats.WarpInstrs = instrs
-				r.op.done = true
-				e.stats.noteKernel(r.grid.Kernel.Name, r.op.stats.Cycles, instrs)
+				e.finishRun(r, now)
 			}
 		}
 		disp.retire()

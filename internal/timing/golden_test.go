@@ -35,11 +35,16 @@ type goldenEntry struct {
 	PerKernel []kernelGolden `json:"per_kernel,omitempty"`
 }
 
-// kernelGolden aggregates one kernel name's launches in a workload.
+// kernelGolden aggregates one kernel name's launches in a workload,
+// including its attributed share of the memory-system traffic (the
+// bandwidth-aware hierarchy's per-kernel counters), so a silent change
+// in attribution fails CI even when engine-wide totals cancel out.
 type kernelGolden struct {
-	Name       string `json:"name"`
-	Launches   uint64 `json:"launches"`
-	WarpInstrs uint64 `json:"warp_instrs"`
+	Name         string `json:"name"`
+	Launches     uint64 `json:"launches"`
+	WarpInstrs   uint64 `json:"warp_instrs"`
+	L2Accesses   uint64 `json:"l2_accesses"`
+	DRAMAccesses uint64 `json:"dram_accesses"`
 }
 
 // lenetConvLoad is LeNet's first convolution layer (1x1x28x28 input,
@@ -82,6 +87,8 @@ func perKernelGolden(log []cudart.KernelStats) []kernelGolden {
 		}
 		g.Launches++
 		g.WarpInstrs += k.WarpInstrs
+		g.L2Accesses += k.L2Accesses
+		g.DRAMAccesses += k.DRAMAccesses
 	}
 	names := make([]string, 0, len(byName))
 	for n := range byName {

@@ -1,0 +1,38 @@
+package timing_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkMemoryBoundStream drives the streaming strided_saxpy workload
+// at several occupancies and reports both the modelled outcome
+// (avg_seg_latency_cycles — the load-dependent number the bandwidth-aware
+// hierarchy produces) and the host cost per simulated cycle. The
+// per-cycle drain cost must stay flat as occupancy grows: the partition's
+// absolute-time resource reservations are O(1) per segment, so memory
+// contention shows up only in modelled cycles, never in host-side
+// per-cycle work (compare BENCH_5.json against the BenchmarkDrainQueueDepth
+// baseline).
+func BenchmarkMemoryBoundStream(b *testing.B) {
+	for _, ctas := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("ctas=%d", ctas), func(b *testing.B) {
+			var cycles uint64
+			var avgLat float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunStridedSaxpy(core.GTX1050, 1, ctas, 64, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Engine.Cycle()
+				avgLat = res.Engine.Stats().AvgSegmentLatency()
+				res.Engine.Close()
+			}
+			b.ReportMetric(float64(cycles), "sim_cycles")
+			b.ReportMetric(avgLat, "avg_seg_latency_cycles")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(cycles), "ns_per_sim_cycle")
+		})
+	}
+}

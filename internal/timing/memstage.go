@@ -23,12 +23,14 @@ import (
 // Cross-core state is only ever touched in phase 2, in an order that does
 // not depend on the worker count — that is the determinism contract.
 
-// segRequest is one line-sized segment of a warp memory access that needs
-// the shared memory system.
+// segRequest is one sector-sized segment of a warp memory access that
+// needs the shared memory system.
 type segRequest struct {
 	addr   uint64
+	issue  uint64 // cycle the warp issued the access (latency accounting)
 	arrive uint64 // cycle the request reaches the partition
 	part   int    // owning partition
+	runID  int    // dense per-drain id of the owning grid (stat attribution)
 	write  bool
 	atomic bool
 	merged bool // L1 MissMerged: rides the in-flight fill, no partition trip
@@ -60,10 +62,12 @@ func (c *smCore) newReq() *memRequest {
 	return r
 }
 
-// coalesce merges a warp memory operation into 128-byte segments, writing
-// them into the core's persistent scratch slice.
+// coalesce merges a warp memory operation into sector-sized segments
+// (Config.sectorBytes: min of the L1 and L2 line sizes, so a segment
+// never straddles an L2 line and always routes to exactly one
+// partition), writing them into the core's persistent scratch slice.
 func (c *smCore) coalesce(info *exec.StepInfo) []uint64 {
-	segSize := uint64(c.eng.cfg.L1.LineBytes)
+	segSize := c.eng.cfg.sectorBytes()
 	segs := c.segScratch[:0]
 	for l := 0; l < exec.WarpSize; l++ {
 		if info.ActiveMask&(1<<l) == 0 {
@@ -145,8 +149,10 @@ func (c *smCore) memIssue(info *exec.StepInfo, w *warpCtx, now uint64) {
 		c.stats.NoCFlits++
 		req.segs = append(req.segs, segRequest{
 			addr:   seg,
+			issue:  now,
 			arrive: now + retry + uint64(e.cfg.NoCLat),
 			part:   e.partOf(seg),
+			runID:  w.runID,
 			write:  info.IsStore,
 			atomic: info.IsAtomic,
 			fillL1: !info.IsStore && (res == cache.Miss || res == cache.ReservationFail),

@@ -19,11 +19,37 @@ const (
 // the AerialVision warp plots).
 var StallNames = [numStallKinds]string{"W0_idle", "W0_data_hazard", "W0_barrier", "W0_memory"}
 
-// KernelSample records one kernel's timing outcome.
+// MemCounters is one kernel's (or one partition shard's) view of the
+// shared memory system: L2 outcomes, DRAM demand traffic and row-buffer
+// locality, and the cycles its segments spent stalled on partition
+// ingress/MSHR/port reservations. Addition is commutative, so shards can
+// be merged in any order.
+type MemCounters struct {
+	L2Accesses   uint64
+	L2Hits       uint64
+	L2Misses     uint64 // demand misses sent to DRAM (incl. MSHR-bypass)
+	DRAMAccesses uint64
+	DRAMRowHits  uint64
+	StallCycles  uint64 // ingress/port/MSHR reservation waits, summed over segments
+}
+
+func (m *MemCounters) add(o MemCounters) {
+	m.L2Accesses += o.L2Accesses
+	m.L2Hits += o.L2Hits
+	m.L2Misses += o.L2Misses
+	m.DRAMAccesses += o.DRAMAccesses
+	m.DRAMRowHits += o.DRAMRowHits
+	m.StallCycles += o.StallCycles
+}
+
+// KernelSample records one kernel's timing outcome, including its share
+// of the memory-system traffic (attributed per grid by the partition
+// shards, merged at retirement).
 type KernelSample struct {
 	Name   string
 	Cycles uint64
 	Instrs uint64
+	Mem    MemCounters
 }
 
 // Stats accumulates engine-wide counters and AerialVision time series.
@@ -45,7 +71,11 @@ type Stats struct {
 	SFUOps          uint64
 	L1Accesses      uint64
 	L2Accesses      uint64
+	L2Hits          uint64
+	L2Misses        uint64
+	L2Writebacks    uint64 // dirty L2 evictions turned into DRAM write traffic
 	DRAMAccesses    uint64
+	DRAMRowHits     uint64
 	NoCFlits        uint64
 	SharedAccesses  uint64
 	TextureAccesses uint64
@@ -53,6 +83,15 @@ type Stats struct {
 	MemSegments     uint64
 	MSHRFull        uint64
 	IdleSlotCycles  uint64
+
+	// IngressStallCycles sums, over all partition-serviced segments, the
+	// cycles each spent waiting on a partition ingress slot, L2 port or
+	// L2 MSHR reservation (the bandwidth-aware hierarchy's back-pressure).
+	IngressStallCycles uint64
+	// SegCycles/SegServed track total and count of partition-serviced
+	// segment latencies (issue to response), for AvgSegmentLatency.
+	SegCycles uint64
+	SegServed uint64
 
 	// FastForwardedCycles counts cycles the drain loop's idle-cycle
 	// fast-forward bridged instead of ticking (machine fully stalled on
@@ -66,7 +105,9 @@ type Stats struct {
 	laneCount [][]uint64 // [active lanes 1..32 -> idx 0..31][bucket]
 	stalls    [numStallKinds][]uint64
 
-	Kernels []KernelSample
+	// PerKernel holds one sample per retired kernel launch, in retirement
+	// order, each carrying its attributed memory counters.
+	PerKernel []KernelSample
 }
 
 func newStats(cfg Config) *Stats {
@@ -154,7 +195,11 @@ func (s *Stats) merge(o *Stats) {
 	s.SFUOps += o.SFUOps
 	s.L1Accesses += o.L1Accesses
 	s.L2Accesses += o.L2Accesses
+	s.L2Hits += o.L2Hits
+	s.L2Misses += o.L2Misses
+	s.L2Writebacks += o.L2Writebacks
 	s.DRAMAccesses += o.DRAMAccesses
+	s.DRAMRowHits += o.DRAMRowHits
 	s.NoCFlits += o.NoCFlits
 	s.SharedAccesses += o.SharedAccesses
 	s.TextureAccesses += o.TextureAccesses
@@ -162,6 +207,9 @@ func (s *Stats) merge(o *Stats) {
 	s.MemSegments += o.MemSegments
 	s.MSHRFull += o.MSHRFull
 	s.IdleSlotCycles += o.IdleSlotCycles
+	s.IngressStallCycles += o.IngressStallCycles
+	s.SegCycles += o.SegCycles
+	s.SegServed += o.SegServed
 	s.FastForwardedCycles += o.FastForwardedCycles
 	for c := range o.coreIPC {
 		s.coreIPC[c] = mergeSeries(s.coreIPC[c], o.coreIPC[c], o.base)
@@ -197,7 +245,7 @@ func (s *Stats) rebase(cycle uint64) {
 
 // reset clears a shard for reuse, keeping allocated series storage.
 func (s *Stats) reset() {
-	kernels := s.Kernels
+	kernels := s.PerKernel
 	interval, numSMs, scheds := s.interval, s.numSMs, s.scheds
 	coreIPC, laneCount, stalls := s.coreIPC, s.laneCount, s.stalls
 	*s = Stats{interval: interval, numSMs: numSMs, scheds: scheds}
@@ -211,11 +259,22 @@ func (s *Stats) reset() {
 		stalls[i] = stalls[i][:0]
 	}
 	s.coreIPC, s.laneCount, s.stalls = coreIPC, laneCount, stalls
-	s.Kernels = kernels[:0]
+	s.PerKernel = kernels[:0]
 }
 
-func (s *Stats) noteKernel(name string, cycles, instrs uint64) {
-	s.Kernels = append(s.Kernels, KernelSample{Name: name, Cycles: cycles, Instrs: instrs})
+func (s *Stats) noteKernel(name string, cycles, instrs uint64, mem MemCounters) {
+	s.PerKernel = append(s.PerKernel, KernelSample{Name: name, Cycles: cycles, Instrs: instrs, Mem: mem})
+}
+
+// AvgSegmentLatency returns the mean issue-to-response latency of the
+// segments the partitions serviced — the load-dependent number the
+// bandwidth-aware hierarchy exists to produce (a lightly loaded machine
+// sees raw L2/DRAM latency; a saturated one sees queueing on top).
+func (s *Stats) AvgSegmentLatency() float64 {
+	if s.SegServed == 0 {
+		return 0
+	}
+	return float64(s.SegCycles) / float64(s.SegServed)
 }
 
 // Interval returns the sample bucket width in cycles.

@@ -83,6 +83,7 @@ func TestMainPackagesSmoke(t *testing.T) {
 		"gpgpusim", "mnistsim", "aerialvision", "convsample", "debugtool",
 		"quickstart", "lenet_mnist", "conv_algorithms", "checkpoint_resume",
 		"debug_workflow", "concurrent_streams", "transformer_inference",
+		"bank_camping",
 	} {
 		if _, err := os.Stat(filepath.Join(bin, name)); err != nil {
 			t.Errorf("binary %s not built: %v", name, err)
@@ -134,6 +135,24 @@ func TestMainPackagesSmoke(t *testing.T) {
 		for _, want := range []string{"transformer workload", "max |sim - cpu|", "overlap speedup"} {
 			if !strings.Contains(out, want) {
 				t.Fatalf("missing %q in transformer workload output:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("gpgpusim_workload_membound", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "gpgpusim"), "-workload", "membound")
+		for _, want := range []string{"membound workload", "avg_seg_lat", "load-dependent latency", "per-kernel memory counters"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in membound workload output:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("bank_camping", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "bank_camping"))
+		for _, want := range []string{"camped", "streaming", "DRAM utilization", "avg segment latency"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in bank_camping output:\n%s", want, out)
 			}
 		}
 	})
@@ -202,6 +221,9 @@ func TestMainPackagesSmoke(t *testing.T) {
 		entries, err := os.ReadDir(dir)
 		if err != nil || len(entries) == 0 {
 			t.Fatalf("aerialvision wrote no CSVs (err=%v)", err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "kernel_mem.csv")); err != nil {
+			t.Fatalf("aerialvision did not write the per-kernel memory CSV: %v", err)
 		}
 	})
 }
