@@ -31,10 +31,43 @@ func writeKernelMem(path string, kernels []cudart.KernelStats) {
 	fmt.Println("wrote", f.Name())
 }
 
+// writeKernelReplay runs the transformer batch in hybrid replay mode and
+// writes the per-kernel replay coverage table.
+func writeKernelReplay(path string, resampleEvery int) {
+	res, err := core.RunTransformerReplay(1, 1, 12, 4, resampleEvery, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aerialvision:", err)
+		os.Exit(1)
+	}
+	var rows []aerial.KernelReplayRow
+	for _, k := range res.PerKernel {
+		rows = append(rows, aerial.KernelReplayRow{
+			Name:           k.Name,
+			Launches:       uint64(k.Launches),
+			Replayed:       uint64(k.Replayed),
+			Cycles:         k.Cycles,
+			ReplayedCycles: k.ReplayedCycles,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := aerial.KernelReplayCSV(f, rows); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (replay coverage %.1f%%)\n", f.Name(), 100*res.Coverage)
+}
+
 func main() {
 	dir := flag.String("dir", "fwd", "direction: fwd | bwddata | bwdfilter")
 	algo := flag.String("algo", "fft", "convolution algorithm")
 	out := flag.String("o", "aerial_out", "output directory for CSV files")
+	replay := flag.Bool("replay", false, "additionally run the transformer batch in hybrid replay mode and write kernel_replay.csv (per-kernel replay coverage)")
+	resample := flag.Int("replay-resample", 0, "with -replay: re-simulate every Nth replay-cache hit in detail (0 = never)")
 	flag.Parse()
 
 	res, err := core.RunConvSample(core.GTX1080Ti, core.ConvDirection(*dir), *algo, core.DefaultConvShape())
@@ -82,4 +115,7 @@ func main() {
 	write("shader_ipc.csv", labels, shader)
 	names, series := st.WarpIssueBreakdown()
 	write("warp_breakdown.csv", names, series)
+	if *replay {
+		writeKernelReplay(filepath.Join(*out, "kernel_replay.csv"), *resample)
+	}
 }

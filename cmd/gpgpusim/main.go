@@ -27,15 +27,22 @@ func main() {
 	streams := flag.Int("streams", 1, "in -perf mode, launch the kernel once per stream on N concurrent CUDA streams (each with its own buffers) and report the overlap")
 	args := flag.String("args", "", "comma-separated kernel arguments: bufN (device buffer of N floats), iV (u32), fV (f32)")
 	dump := flag.Int("dump", 8, "floats to dump from each buffer argument after the run")
-	workload := flag.String("workload", "", "built-in workload instead of a PTX file: 'transformer' runs the encoder inference batch in the detailed model (-streams sequences, -j workers); 'membound' sweeps a streaming kernel across occupancies to show load-dependent memory latency")
+	workload := flag.String("workload", "", "built-in workload instead of a PTX file: "+workloadUsage())
+	replay := flag.Bool("replay", false, "with -workload transformer: repeat the batch in hybrid replay mode (memoized kernel timing) and report cache coverage")
+	resample := flag.Int("replay-resample", 0, "with -replay: re-simulate every Nth cache hit in detail and report the drift (0 = never)")
 	flag.Parse()
 
 	if *workload != "" {
-		if err := runWorkloadFlag(*workload, *workers, *streams); err != nil {
+		opts := workloadOpts{workers: *workers, streams: *streams, replay: *replay, resampleEvery: *resample}
+		if err := runWorkloadFlag(*workload, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *replay || *resample != 0 {
+		fmt.Fprintln(os.Stderr, "-replay/-replay-resample need -workload transformer (replay pays off on repeated launches, not a single PTX run)")
+		os.Exit(2)
 	}
 
 	if flag.NArg() != 1 {
@@ -125,16 +132,70 @@ func main() {
 	dumpBufs(ctx, bufs, bufLens, *dump)
 }
 
-// runWorkloadFlag dispatches the -workload built-ins.
-func runWorkloadFlag(name string, workers, streams int) error {
-	switch name {
-	case "transformer":
-		return runTransformerWorkload(workers, streams)
-	case "membound":
-		return runMemBoundWorkload(workers)
-	default:
-		return fmt.Errorf("unknown workload %q (available: transformer, membound)", name)
+// workloadOpts carries the flags a -workload built-in may consume.
+type workloadOpts struct {
+	workers, streams int
+	replay           bool
+	resampleEvery    int
+}
+
+// workloads is the single registry of -workload built-ins: the flag's
+// usage string and the unknown-workload error both derive from it, so a
+// new workload added here shows up in both automatically.
+var workloads = []struct {
+	name string
+	desc string
+	run  func(workloadOpts) error
+}{
+	{
+		name: "transformer",
+		desc: "runs the encoder inference batch in the detailed model (-streams sequences, -j workers); add -replay to repeat the batch in hybrid replay mode",
+		run: func(o workloadOpts) error {
+			if o.replay {
+				return runTransformerReplayWorkload(o)
+			}
+			return runTransformerWorkload(o.workers, o.streams)
+		},
+	},
+	{
+		name: "membound",
+		desc: "sweeps a streaming kernel across occupancies to show load-dependent memory latency",
+		run: func(o workloadOpts) error {
+			if o.replay {
+				return fmt.Errorf("-replay only applies to the transformer workload (membound launches each configuration once — nothing repeats)")
+			}
+			return runMemBoundWorkload(o.workers)
+		},
+	},
+}
+
+func workloadUsage() string {
+	var b strings.Builder
+	for i, w := range workloads {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "'%s' %s", w.name, w.desc)
 	}
+	return b.String()
+}
+
+func workloadNames() string {
+	names := make([]string, len(workloads))
+	for i, w := range workloads {
+		names[i] = w.name
+	}
+	return strings.Join(names, ", ")
+}
+
+// runWorkloadFlag dispatches the -workload built-ins.
+func runWorkloadFlag(name string, o workloadOpts) error {
+	for _, w := range workloads {
+		if w.name == name {
+			return w.run(o)
+		}
+	}
+	return fmt.Errorf("unknown workload %q (available: %s)", name, workloadNames())
 }
 
 // runMemBoundWorkload sweeps the streaming strided_saxpy kernel across
@@ -185,6 +246,41 @@ func runTransformerWorkload(workers, streams int) error {
 	fmt.Printf("max |sim - cpu| = %.2g\n", res.MaxAbsDiff)
 	fmt.Printf("%d streams: %d total cycles concurrent vs %d serialized (overlap speedup %.2fx), IPC %.2f\n",
 		res.Seqs, res.ConcurrentCycles, res.SerializedCycles, res.Speedup(), res.IPC())
+	return nil
+}
+
+// runTransformerReplayWorkload repeats the transformer inference batch
+// in hybrid replay mode: the first iteration simulates in detail and
+// warms the replay cache, later iterations retire from it. The coverage
+// line is what smoke_test.go pins.
+func runTransformerReplayWorkload(o workloadOpts) error {
+	const iters = 4
+	res, err := core.RunTransformerReplay(o.workers, o.streams, 12, iters, o.resampleEvery, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transformer replay workload: %d layers, %d heads, d_model %d — %d sequences × %d tokens, %d iterations, %d kernel launches\n",
+		res.Config.Layers, res.Config.Heads, res.Config.DModel, res.Seqs, res.SeqLen, res.Iters, res.Launches)
+	fmt.Printf("max |sim - cpu| = %.2g (first iteration; later iterations bit-equal by construction)\n", res.MaxAbsDiff)
+	fmt.Printf("replay coverage %.1f%%: %d hits, %d misses, %d resamples, %d memo-applied\n",
+		100*res.Coverage, res.ReplayHits, res.ReplayMisses, res.ReplayResamples, res.ReplayMemoApplied)
+	fmt.Printf("cycles: %d first iteration (detailed), %d total; %d replayed vs %d detailed kernel cycles",
+		res.FirstIterCycles, res.TotalCycles, res.ReplayedCycles, res.DetailedKernelCycles)
+	if res.ReplayResamples > 0 {
+		fmt.Printf("; resample drift %d cycles", res.ReplayDriftCycles)
+	}
+	fmt.Println()
+	var rows []aerial.KernelReplayRow
+	for _, k := range res.PerKernel {
+		rows = append(rows, aerial.KernelReplayRow{
+			Name:           k.Name,
+			Launches:       uint64(k.Launches),
+			Replayed:       uint64(k.Replayed),
+			Cycles:         k.Cycles,
+			ReplayedCycles: k.ReplayedCycles,
+		})
+	}
+	aerial.KernelReplaySummary(os.Stdout, "per-kernel replay coverage", rows)
 	return nil
 }
 

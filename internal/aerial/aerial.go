@@ -133,6 +133,49 @@ func KernelMemSummary(w io.Writer, title string, rows []KernelMemRow) {
 	}
 }
 
+// KernelReplayRow is one kernel's hybrid-replay summary for
+// KernelReplaySummary and KernelReplayCSV: how many of its launches were
+// retired from the replay cache and what fraction of its modelled cycles
+// that covered.
+type KernelReplayRow struct {
+	Name           string
+	Launches       uint64
+	Replayed       uint64 // launches retired from the replay cache
+	Cycles         uint64 // all launches
+	ReplayedCycles uint64 // replayed launches only
+}
+
+// KernelReplaySummary renders the per-kernel replay coverage of a hybrid
+// run: which kernels the cache absorbed and which still pay detailed
+// simulation (the re-sampling budget should go where replayed% is low).
+func KernelReplaySummary(w io.Writer, title string, rows []KernelReplayRow) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%-24s %8s %9s %10s %12s %12s\n",
+		"kernel", "launches", "replayed", "replayed%", "cycles", "replayed_cy")
+	pct := func(n, d uint64) string {
+		if d == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f", 100*float64(n)/float64(d))
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %8d %9d %10s %12d %12d\n",
+			r.Name, r.Launches, r.Replayed, pct(r.Replayed, r.Launches),
+			r.Cycles, r.ReplayedCycles)
+	}
+}
+
+// KernelReplayCSV writes the replay coverage rows as kernel_replay.csv.
+func KernelReplayCSV(w io.Writer, rows []KernelReplayRow) error {
+	var b strings.Builder
+	b.WriteString("kernel,launches,replayed,cycles,replayed_cycles\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d\n", r.Name, r.Launches, r.Replayed, r.Cycles, r.ReplayedCycles)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
 // CSV writes rows as CSV with a header of bucket indices.
 func CSV(w io.Writer, rowNames []string, rows [][]float64) error {
 	width := 0

@@ -78,6 +78,33 @@ func TestKernelMemSummary(t *testing.T) {
 	}
 }
 
+func TestKernelReplaySummary(t *testing.T) {
+	var b strings.Builder
+	rows := []KernelReplayRow{
+		{Name: "matmul", Launches: 10, Replayed: 9, Cycles: 1000, ReplayedCycles: 880},
+		{Name: "once", Launches: 1}, // never replayed: rate must render, no NaN
+	}
+	KernelReplaySummary(&b, "replay", rows)
+	out := b.String()
+	for _, want := range []string{"matmul", "90.0", "880", "once", "0.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in summary:\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	if err := KernelReplayCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "kernel,launches,replayed,cycles,replayed_cycles" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "matmul,10,9,1000,880" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
 func TestStackedSummarySkipsZeroRows(t *testing.T) {
 	var b strings.Builder
 	StackedSummary(&b, "warp", []string{"used", "empty"},

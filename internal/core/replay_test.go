@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestRunTransformerReplay exercises the repeated-batch driver in hybrid
+// mode end to end: the first iteration misses and later iterations hit
+// (the free-delta between iterations restores allocator state, so
+// re-launches build identical param images), outputs stay bit-equal to
+// the detailed first iteration (checked inside the driver), and the
+// per-kernel aggregation splits out the replayed launches.
+func TestRunTransformerReplay(t *testing.T) {
+	const iters = 3
+	res, err := RunTransformerReplay(1, 2, 8, iters, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perIter := res.Launches / iters
+	if res.Launches != perIter*iters {
+		t.Errorf("launch count %d not divisible by %d iterations", res.Launches, iters)
+	}
+	if got, want := res.ReplayMisses, uint64(perIter); got != want {
+		t.Errorf("ReplayMisses = %d, want %d (first iteration only)", got, want)
+	}
+	if got, want := res.ReplayHits, uint64(perIter*(iters-1)); got != want {
+		t.Errorf("ReplayHits = %d, want %d (every later launch)", got, want)
+	}
+	if want := float64(iters-1) / float64(iters); res.Coverage < want-1e-9 {
+		t.Errorf("Coverage = %v, want %v", res.Coverage, want)
+	}
+	// iteration 2 captures each kernel's functional memo while
+	// executing; iteration 3 onward must ride the write-set fast path
+	// (the batch is bit-repeatable, so every read-set validates)
+	if got, want := res.ReplayMemoApplied, uint64(perIter*(iters-2)); got != want {
+		t.Errorf("ReplayMemoApplied = %d, want %d", got, want)
+	}
+	if res.MaxAbsDiff > 1e-4 {
+		t.Errorf("MaxAbsDiff vs CPU oracle = %v", res.MaxAbsDiff)
+	}
+	for _, k := range res.PerKernel {
+		if want := k.Launches * (iters - 1) / iters; k.Replayed != want {
+			t.Errorf("kernel %s: Replayed = %d, want %d of %d launches", k.Name, k.Replayed, want, k.Launches)
+		}
+	}
+
+	det, err := RunTransformerReplay(1, 2, 8, iters, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.ReplayHits != 0 || det.ReplayMisses != 0 || det.Coverage != 0 {
+		t.Errorf("detailed run counted replay activity: %+v", det)
+	}
+	// cold caches make the detailed baseline's first iteration identical
+	if res.FirstIterCycles != det.FirstIterCycles {
+		t.Errorf("first (detailed) iteration diverged: hybrid %d vs detailed %d cycles",
+			res.FirstIterCycles, det.FirstIterCycles)
+	}
+}
+
+// BenchmarkTransformerReplay measures the wall-clock win of hybrid
+// replay on the repeated-kernel transformer batch: `detailed` simulates
+// every iteration cycle by cycle, `hybrid` simulates the first and
+// replays the rest. BENCH_6.json records the ratio (the issue's
+// acceptance floor is 5x).
+func BenchmarkTransformerReplay(b *testing.B) {
+	const (
+		seqs, seqLen = 4, 12
+		iters        = 10
+	)
+	for _, mode := range []struct {
+		name   string
+		replay bool
+	}{{"detailed", false}, {"hybrid", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := RunTransformerReplay(1, seqs, seqLen, iters, 0, mode.replay)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode.replay && res.Coverage == 0 {
+					b.Fatal("hybrid run never hit the replay cache")
+				}
+				b.ReportMetric(res.Coverage, "coverage")
+			}
+		})
+	}
+}

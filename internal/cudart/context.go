@@ -39,6 +39,12 @@ type KernelStats struct {
 	DRAMAccesses   uint64
 	DRAMRowHits    uint64
 	MemStallCycles uint64
+
+	// Replayed marks a launch the timing engine retired from its hybrid
+	// replay cache (Config.ReplayEnabled): Cycles and the memory counters
+	// above are memoized from an earlier identical launch rather than
+	// freshly simulated. Always false in functional and detailed modes.
+	Replayed bool
 }
 
 // Runner executes a prepared grid. Functional and timing modes implement

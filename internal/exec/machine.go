@@ -46,6 +46,7 @@ type Machine struct {
 	Tex *device.TextureRegistry
 
 	cov *Coverage
+	rec *memRecorder // non-nil only inside CaptureGrid (memo.go)
 }
 
 // NewMachine creates a functional machine over the given memory image and
@@ -358,6 +359,9 @@ func (m *Machine) loadBytes(c *CTA, w *Warp, lane int, space ptx.Space, addr uin
 		copy(buf, p[addr:])
 	default: // global, const
 		m.Mem.Read(addr, buf)
+		if m.rec != nil {
+			m.rec.recordRead(addr, buf)
+		}
 	}
 	return nil
 }
@@ -386,6 +390,9 @@ func (m *Machine) storeBytes(c *CTA, w *Warp, lane int, space ptx.Space, addr ui
 	case ptx.SpaceParam:
 		return fmt.Errorf("exec: store to parameter space")
 	default:
+		if m.rec != nil {
+			m.rec.recordWrite(addr, buf)
+		}
 		m.Mem.Write(addr, buf)
 	}
 	return nil

@@ -1,0 +1,188 @@
+package exec
+
+// Functional-effect memoization for repeated kernel launches (the
+// timing engine's hybrid replay mode, internal/timing/replay.go).
+//
+// A PTX kernel under this interpreter is a deterministic function of its
+// launch description (kernel, dims, params — all covered by the replay
+// signature) and the global-memory bytes it reads: shared and local
+// memory start zeroed every execution, special registers depend only on
+// geometry, and %clock is the warp's own instruction count. So if every
+// byte a captured execution read (before writing it) still holds the
+// value it held at capture time, re-running the kernel would retrace the
+// exact same path and produce the exact same writes — and the re-run can
+// be replaced by re-applying the recorded write-set. CaptureGrid records
+// that read-before-write set and the final written bytes while running a
+// grid; GridMemo.Matches checks the read-set against current memory and
+// GridMemo.Apply commits the writes.
+//
+// Texture fetches read CUDA arrays, which live outside the recorded
+// device.Memory — a capture that touches a texture returns no memo
+// (callers fall back to plain re-execution) rather than risk validating
+// against stale array contents.
+
+import "bytes"
+
+// memoPageSize is the shadow-page granularity of the capture recorder.
+const memoPageSize = 4096
+
+// memoPage shadows one page of global memory during capture: which bytes
+// the execution has written, which it has recorded as read-before-write,
+// and the observed/final values of each.
+type memoPage struct {
+	written  [memoPageSize / 8]byte
+	readRec  [memoPageSize / 8]byte
+	readVal  [memoPageSize]byte
+	writeVal [memoPageSize]byte
+}
+
+// memRecorder is attached to a Machine for the duration of one
+// CaptureGrid call. The interpreter is single-goroutine, so no locking.
+type memRecorder struct {
+	pages   map[uint64]*memoPage
+	unsound bool // touched state the memo cannot validate (textures)
+}
+
+func (r *memRecorder) page(pn uint64) *memoPage {
+	p := r.pages[pn]
+	if p == nil {
+		p = &memoPage{}
+		r.pages[pn] = p
+	}
+	return p
+}
+
+// recordRead marks buf's bytes as read-before-write unless the execution
+// already wrote (or already recorded) them.
+func (r *memRecorder) recordRead(addr uint64, buf []byte) {
+	for i := 0; i < len(buf); {
+		pn := (addr + uint64(i)) / memoPageSize
+		off := int((addr + uint64(i)) % memoPageSize)
+		p := r.page(pn)
+		for ; off < memoPageSize && i < len(buf); off, i = off+1, i+1 {
+			bit := byte(1 << (off % 8))
+			if p.written[off/8]&bit == 0 && p.readRec[off/8]&bit == 0 {
+				p.readRec[off/8] |= bit
+				p.readVal[off] = buf[i]
+			}
+		}
+	}
+}
+
+// recordWrite marks buf's bytes written and remembers their final value.
+func (r *memRecorder) recordWrite(addr uint64, buf []byte) {
+	for i := 0; i < len(buf); {
+		pn := (addr + uint64(i)) / memoPageSize
+		off := int((addr + uint64(i)) % memoPageSize)
+		p := r.page(pn)
+		for ; off < memoPageSize && i < len(buf); off, i = off+1, i+1 {
+			p.written[off/8] |= byte(1 << (off % 8))
+			p.writeVal[off] = buf[i]
+		}
+	}
+}
+
+// memSpan is a contiguous run of recorded bytes.
+type memSpan struct {
+	addr uint64
+	data []byte
+}
+
+// GridMemo is one launch's captured global-memory effect: the bytes it
+// read before writing (with their observed values) and the bytes it
+// wrote (with their final values), both as sorted coalesced spans.
+type GridMemo struct {
+	reads   []memSpan
+	writes  []memSpan
+	scratch []byte // reusable Matches read buffer, sized to the largest read span
+}
+
+// spans converts one shadow bitmap into coalesced spans.
+func spans(pn uint64, mask *[memoPageSize / 8]byte, vals *[memoPageSize]byte, out []memSpan) []memSpan {
+	base := pn * memoPageSize
+	for off := 0; off < memoPageSize; {
+		if mask[off/8]&(1<<(off%8)) == 0 {
+			off++
+			continue
+		}
+		start := off
+		for off < memoPageSize && mask[off/8]&(1<<(off%8)) != 0 {
+			off++
+		}
+		// merge with the previous span when pages abut
+		if n := len(out); n > 0 && out[n-1].addr+uint64(len(out[n-1].data)) == base+uint64(start) {
+			out[n-1].data = append(out[n-1].data, vals[start:off]...)
+		} else {
+			out = append(out, memSpan{addr: base + uint64(start), data: append([]byte(nil), vals[start:off]...)})
+		}
+	}
+	return out
+}
+
+// memo freezes the recorder into a GridMemo (nil when unsound).
+func (r *memRecorder) memo() *GridMemo {
+	if r.unsound {
+		return nil
+	}
+	pns := make([]uint64, 0, len(r.pages))
+	for pn := range r.pages {
+		pns = append(pns, pn)
+	}
+	// sorted page order keeps spans sorted and mergeable across pages
+	for i := 1; i < len(pns); i++ {
+		for j := i; j > 0 && pns[j-1] > pns[j]; j-- {
+			pns[j-1], pns[j] = pns[j], pns[j-1]
+		}
+	}
+	mo := &GridMemo{}
+	for _, pn := range pns {
+		p := r.pages[pn]
+		mo.reads = spans(pn, &p.readRec, &p.readVal, mo.reads)
+		mo.writes = spans(pn, &p.written, &p.writeVal, mo.writes)
+	}
+	max := 0
+	for _, s := range mo.reads {
+		if len(s.data) > max {
+			max = len(s.data)
+		}
+	}
+	mo.scratch = make([]byte, max)
+	return mo
+}
+
+// Matches reports whether every byte the captured execution read still
+// holds its captured value — the soundness condition for Apply.
+func (mo *GridMemo) Matches(m *Machine) bool {
+	for _, s := range mo.reads {
+		buf := mo.scratch[:len(s.data)]
+		m.Mem.Read(s.addr, buf)
+		if !bytes.Equal(buf, s.data) {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply commits the captured write-set, reproducing the execution's
+// global-memory effect without re-interpreting the kernel. Only sound
+// when Matches just returned true on the same memory image.
+func (mo *GridMemo) Apply(m *Machine) {
+	for _, s := range mo.writes {
+		m.Mem.Write(s.addr, s.data)
+	}
+}
+
+// CaptureGrid runs the grid functionally (semantics identical to
+// RunGrid) while recording its global-memory effect. The returned memo
+// is nil — with no error — when the execution touched state the memo
+// cannot validate (texture fetches); the grid still executed fully.
+func (m *Machine) CaptureGrid(g *Grid) (*GridMemo, error) {
+	r := &memRecorder{pages: make(map[uint64]*memoPage)}
+	m.rec = r
+	err := m.RunGrid(g)
+	m.rec = nil
+	if err != nil {
+		return nil, err
+	}
+	return r.memo(), nil
+}

@@ -411,6 +411,11 @@ func (m *Machine) stepTex(c *CTA, w *Warp, in *ptx.Instr, execMask uint32, info 
 	if err != nil {
 		return fmt.Errorf("exec: %q: %w", in.Raw, err)
 	}
+	if m.rec != nil {
+		// texture arrays live outside the recorded device memory, so a
+		// capture that reads one cannot be validated later
+		m.rec.unsound = true
+	}
 	coord := &in.Src[1]
 	dst := &in.Dst[0]
 	info.IsMem = true

@@ -50,6 +50,18 @@ type Config struct {
 	// MemcpyHtoDAsync/DtoHAsync routed through the detailed model.
 	// 0 selects ~12 GB/s (PCIe 3.0 x16) at the core clock.
 	CopyBytesPerCycle float64
+
+	// ReplayEnabled turns on hybrid replay mode (see replay.go): every
+	// launch's detailed timing outcome is memoized under a replay
+	// signature, and a launch whose signature was recorded in an earlier
+	// Drain batch retires after the memoized cycle count without CTA
+	// dispatch. Functional memory effects still execute, so results stay
+	// byte-identical; only the timing of repeated launches is sampled.
+	ReplayEnabled bool
+	// ReplayResampleEvery re-runs every Nth cache hit of an entry in
+	// detail, measuring drift against the memoized cycles and refreshing
+	// the entry. 0 never re-samples.
+	ReplayResampleEvery int
 }
 
 // GTX1050 approximates the GeForce GTX 1050 (GP107) used for the paper's

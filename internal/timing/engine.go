@@ -50,6 +50,12 @@ type Engine struct {
 	queue         []*Ticket     // submitted, not yet drained operations, in submission order
 	machine       *exec.Machine // machine bound to the pending batch
 	copyBusyUntil uint64        // cycle the modelled copy engine frees up
+
+	// replay is the hybrid-replay memoization cache (replay.go), nil
+	// unless Config.ReplayEnabled. Coordinator-owned: Submit computes
+	// signatures, the drain loop looks up and stages entries, so worker
+	// count cannot influence replay decisions.
+	replay *replayCache
 }
 
 // Option configures an Engine.
@@ -84,6 +90,9 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 		}
 		e.parts = append(e.parts,
 			newPartition(i, l2, dram.NewChannel(cfg.DRAM, uint64(cfg.SampleInterval)), cfg.L2.MSHRs))
+	}
+	if cfg.ReplayEnabled {
+		e.replay = newReplayCache(&cfg)
 	}
 	for _, o := range opts {
 		o(e)
@@ -193,10 +202,21 @@ type Ticket struct {
 
 	admitted   bool
 	startCycle uint64 // kernels: admission cycle; copies: transfer start
-	endCycle   uint64 // copies: modelled completion cycle
+	endCycle   uint64 // copies and replay hits: modelled completion cycle
 	done       bool
 	stats      cudart.KernelStats
 	err        error
+
+	// Hybrid replay (replay.go). sig/hasSig: the launch's replay
+	// signature, computed at submit when replay is on (resume launches
+	// never get one — a partially pre-retired grid's timing must not
+	// poison the cache). replayEnt: the memoized entry a hit retires
+	// from. resample: a hit the cadence sent back to detailed
+	// simulation so retirement measures drift and refreshes the entry.
+	sig       replaySig
+	hasSig    bool
+	replayEnt *replayEntry
+	resample  bool
 }
 
 // Done reports whether the operation has retired.
@@ -239,6 +259,10 @@ func (e *Engine) submit(g *exec.Grid, stream, skipCTAs int, preload []*exec.CTA)
 		return nil, err
 	}
 	t.run = run
+	if e.replay != nil && skipCTAs == 0 && preload == nil {
+		t.sig = e.replay.signature(g)
+		t.hasSig = true
+	}
 	e.machine = g.Machine()
 	e.queue = append(e.queue, t)
 	return t, nil
@@ -366,11 +390,32 @@ func (e *Engine) drain(workers int) error {
 	deadline := e.cycle + 2_000_000_000 // runaway guard
 
 	for {
-		// Complete in-flight copies (running their functional memory
-		// effect now that the modelled transfer has finished) and check
-		// for overall completion. O(active copies), and the cursor makes
-		// the completion check O(1) amortised.
-		sch.completeCopies(e.cycle)
+		// Complete in-flight timed operations — copies run their
+		// functional memory effect now that the modelled transfer has
+		// finished; replay-hit kernels retire with their memoized stats
+		// (finishReplay) — then check for overall completion. O(active
+		// timed ops), and the cursor makes the completion check O(1)
+		// amortised.
+		failID := -1
+		ferr := sch.completeTimed(e.cycle, func(t *Ticket) error {
+			if t.kind == opCopy {
+				if t.copyApply != nil {
+					t.copyApply()
+					t.copyApply = nil
+				}
+				t.stats.Cycles = t.endCycle - t.startCycle
+				t.done = true
+				return nil
+			}
+			if err := e.finishReplay(t); err != nil {
+				failID = t.run.id
+				return err
+			}
+			return nil
+		})
+		if ferr != nil {
+			return e.abortBatch(m, ferr, failID)
+		}
 		if sch.drained() {
 			break
 		}
@@ -385,8 +430,19 @@ func (e *Engine) drain(workers int) error {
 				}
 				if t.kind == opKernel {
 					t.startCycle = e.cycle
-					disp.admit(t.run)
-					t.admitted = true
+					if ent := e.replayLookup(t); ent != nil {
+						// Replay hit: no CTA dispatch — the launch
+						// retires at an absolute cycle on the timed
+						// list, like a copy, so the fast-forward
+						// invariant holds unchanged.
+						t.replayEnt = ent
+						t.endCycle = e.cycle + ent.cycles
+						t.admitted = true
+						sch.addTimed(t)
+					} else {
+						disp.admit(t.run)
+						t.admitted = true
+					}
 				} else {
 					start := e.cycle
 					if e.copyBusyUntil > start {
@@ -396,7 +452,7 @@ func (e *Engine) drain(workers int) error {
 					t.endCycle = start + e.copyCycles(t.copyBytes)
 					e.copyBusyUntil = t.endCycle
 					t.admitted = true
-					sch.addCopy(t)
+					sch.addTimed(t)
 				}
 			}
 			sch.clearReady()
@@ -405,11 +461,12 @@ func (e *Engine) drain(workers int) error {
 		disp.fill(&e.cfg, e.cores)
 
 		if len(disp.runs) == 0 {
-			// Only copies in flight: jump to the earliest completion,
-			// charging the bridged cycles to the stall statistics like
-			// the stalled-machine fast-forward below, so bucket sums
-			// keep matching elapsed cycles.
-			wake := sch.earliestCopyEnd()
+			// Only timed operations (copies, replay hits) in flight:
+			// jump to the earliest completion, charging the bridged
+			// cycles to the stall statistics like the stalled-machine
+			// fast-forward below, so bucket sums keep matching elapsed
+			// cycles.
+			wake := sch.earliestTimedEnd()
 			if wake == ^uint64(0) {
 				return e.abortBatch(m, fmt.Errorf("timing: drain stalled with pending work"), -1)
 			}
@@ -503,17 +560,17 @@ func (e *Engine) drain(workers int) error {
 			// scheduler issued, so the machine state cannot change until
 			// the earliest scoreboard wakeup (progressAt, which reflects
 			// partition service completion times folded in by applyMem)
-			// or the earliest copy completion (which can admit new
-			// kernels). Jump the clock there, charging the skipped
-			// cycles to the stall statistics so bucket sums still match
-			// elapsed cycles and modelled cycle counts are identical to
-			// a cycle-by-cycle walk.
+			// or the earliest timed completion — a copy or a replay hit,
+			// either of which can admit new kernels. Jump the clock
+			// there, charging the skipped cycles to the stall statistics
+			// so bucket sums still match elapsed cycles and modelled
+			// cycle counts are identical to a cycle-by-cycle walk.
 			wake := progressAt
-			if cw := sch.earliestCopyEnd(); cw < wake {
+			if cw := sch.earliestTimedEnd(); cw < wake {
 				wake = cw
 			}
 			if wake == ^uint64(0) {
-				// No warp has a future ready time and no copy is in
+				// No warp has a future ready time and no timed op is in
 				// flight. If the batch just drained (a grid with no
 				// issuable work retired this cycle — e.g. a checkpoint
 				// resume whose CTAs were all pre-retired) or a
@@ -534,7 +591,98 @@ func (e *Engine) drain(workers int) error {
 	}
 
 	e.mergeShards(m)
+	if e.replay != nil {
+		// Publish this batch's freshly measured entries only now that the
+		// whole batch retired cleanly: later batches may replay them, the
+		// batch that recorded them never could.
+		e.replay.commit()
+	}
 	e.releaseQueue()
+	return nil
+}
+
+// replayLookup consults the replay cache at admission. A nil return means
+// the launch runs in detail — replay off, no signature (resume launch), a
+// cold miss, or a hit the re-sampling cadence selected for detailed
+// execution (flagged on the ticket so retirement measures drift and
+// refreshes the entry). Coordinator-only, so hit/miss decisions are
+// independent of worker count.
+func (e *Engine) replayLookup(t *Ticket) *replayEntry {
+	if e.replay == nil || !t.hasSig {
+		return nil
+	}
+	ent := e.replay.entries[t.sig]
+	if ent == nil {
+		e.stats.ReplayMisses++
+		return nil
+	}
+	ent.hits++
+	if n := e.cfg.ReplayResampleEvery; n > 0 && ent.hits%uint64(n) == 0 {
+		e.stats.ReplayResamples++
+		t.resample = true
+		return nil
+	}
+	e.stats.ReplayHits++
+	return ent
+}
+
+// finishReplay retires a replay-hit ticket at its memoized end cycle. The
+// launch's functional memory effects execute now, on the coordinator
+// (replay memoizes timing, not semantics — final device memory stays
+// byte-identical to a detailed run), and the memoized per-kernel stats
+// fold into the ticket and the engine-wide accumulators exactly as a
+// detailed retirement would have. Replay reconstructs the memoized
+// aggregates only — the per-interval time series and the uncached
+// counters (ThreadInstrs, ALU/SFU ops, L1 traffic, …) stay flat across
+// the replayed window.
+func (e *Engine) finishReplay(t *Ticket) error {
+	ent := t.replayEnt
+	// Functional effect, cheapest sound path first: apply the captured
+	// write-set when the read-set still matches current memory; capture
+	// (= run + record) on the first hit or when memory moved underneath
+	// a stale memo; plain re-interpretation when capture found
+	// unmemoizable state (textures). All three produce byte-identical
+	// memory; only wall-clock (and the functional coverage counters,
+	// which the apply path does not bump) differs.
+	switch {
+	case ent.memo != nil && ent.memo.Matches(e.machine):
+		ent.memo.Apply(e.machine)
+		e.stats.ReplayMemoApplied++
+	case !ent.memoTried || ent.memo != nil:
+		ent.memoTried = true
+		memo, err := e.machine.CaptureGrid(t.grid)
+		if err != nil {
+			return err
+		}
+		ent.memo = memo
+	default:
+		if err := e.machine.RunGrid(t.grid); err != nil {
+			return err
+		}
+	}
+	st := &t.stats
+	st.Cycles = t.endCycle - t.startCycle
+	st.WarpInstrs = ent.instrs
+	st.L2Accesses = ent.mem.L2Accesses
+	st.L2Hits = ent.mem.L2Hits
+	st.L2Misses = ent.mem.L2Misses
+	st.DRAMAccesses = ent.mem.DRAMAccesses
+	st.DRAMRowHits = ent.mem.DRAMRowHits
+	st.MemStallCycles = ent.mem.StallCycles
+	st.Replayed = true
+	t.done = true
+	s := e.stats
+	s.noteKernel(t.grid.Kernel.Name, st.Cycles, ent.instrs, ent.mem)
+	s.Instructions += ent.instrs
+	s.L2Accesses += ent.mem.L2Accesses
+	s.L2Hits += ent.mem.L2Hits
+	s.L2Misses += ent.mem.L2Misses
+	s.DRAMAccesses += ent.mem.DRAMAccesses
+	s.DRAMRowHits += ent.mem.DRAMRowHits
+	s.IngressStallCycles += ent.mem.StallCycles
+	s.SegCycles += ent.mem.SegCycles
+	s.SegServed += ent.mem.SegServed
+	s.ReplayedCycles += st.Cycles
 	return nil
 }
 
@@ -569,6 +717,21 @@ func (e *Engine) finishRun(r *gridRun, now uint64) {
 	st.MemStallCycles = mem.StallCycles
 	r.op.done = true
 	e.stats.noteKernel(r.grid.Kernel.Name, st.Cycles, instrs, mem)
+	e.stats.DetailedKernelCycles += st.Cycles
+	if e.replay != nil && r.op.hasSig {
+		if r.op.resample {
+			// Re-sampled hit: measure how far the memoized timing has
+			// drifted from a fresh detailed run before refreshing it.
+			if old := e.replay.entries[r.op.sig]; old != nil {
+				d := st.Cycles - old.cycles
+				if old.cycles > st.Cycles {
+					d = old.cycles - st.Cycles
+				}
+				e.stats.ReplayDriftCycles += d
+			}
+		}
+		e.replay.stage(r.op.sig, replayEntry{cycles: st.Cycles, instrs: instrs, mem: mem})
+	}
 }
 
 // releaseQueue empties the batch queue, dropping the references each
@@ -586,6 +749,7 @@ func (e *Engine) releaseQueue() {
 		t.preload = nil
 		t.run = nil
 		t.copyApply = nil
+		t.replayEnt = nil
 		e.queue[i] = nil
 	}
 	e.queue = e.queue[:0]
@@ -671,6 +835,10 @@ func (e *Engine) abortBatch(m *exec.Machine, cause error, runID int) error {
 	// leak into the next batch's transfer start times
 	if e.copyBusyUntil > e.cycle {
 		e.copyBusyUntil = e.cycle
+	}
+	if e.replay != nil {
+		// Never memoize timing measured in an aborted batch.
+		e.replay.discard()
 	}
 	e.mergeShards(m)
 	e.releaseQueue()

@@ -18,8 +18,11 @@ var update = flag.Bool("update", false, "regenerate testdata/golden_stats.json")
 
 // goldenEntry pins the headline timing numbers of one workload. The
 // engine is deterministic, so any divergence is a real modelling change:
-// intentional changes regenerate the file with `go test -run Golden
-// -update ./internal/timing`, silent drifts fail CI.
+// intentional changes regenerate the file with
+// `go test -run Golden ./internal/timing -update`, silent drifts fail CI.
+// Flag ordering matters: -update is a flag of the test binary, not of
+// `go test`, so it must come AFTER the package path — placed before it,
+// `go test` rejects it with "flag provided but not defined: -update".
 type goldenEntry struct {
 	Cycles       uint64  `json:"cycles"`
 	WarpInstrs   uint64  `json:"warp_instrs"`
@@ -182,7 +185,7 @@ func TestGoldenStats(t *testing.T) {
 
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		t.Fatalf("missing golden file (run `go test -run Golden -update ./internal/timing`): %v", err)
+		t.Fatalf("missing golden file (run `go test -run Golden ./internal/timing -update` — the -update flag must come after the package path): %v", err)
 	}
 	var want map[string]goldenEntry
 	if err := json.Unmarshal(buf, &want); err != nil {
@@ -195,7 +198,10 @@ func TestGoldenStats(t *testing.T) {
 			continue
 		}
 		if !reflect.DeepEqual(g, w) {
-			t.Errorf("timing drift in %s:\n got %+v\nwant %+v\n(intentional? rerun with -update)", name, g, w)
+			t.Errorf("timing drift in %s:\n got %+v\nwant %+v\n"+
+				"(intentional? regenerate with `go test -run Golden ./internal/timing -update`; "+
+				"-update is a test-binary flag, so it must come AFTER the package path — "+
+				"before it, `go test` fails with \"flag provided but not defined\")", name, g, w)
 		}
 	}
 	for name := range want {

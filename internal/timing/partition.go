@@ -287,6 +287,13 @@ func (p *partition) drain(cfg *Config) {
 		p.nocFlits++
 		p.segCycles += s.done - s.issue
 		p.segServed++
+		if sh := p.shard(s); sh != nil {
+			// per-kernel segment latency attribution: replay entries
+			// memoize it so AvgSegmentLatency stays meaningful when a
+			// launch's partition traffic never re-executes
+			sh.SegCycles += s.done - s.issue
+			sh.SegServed++
+		}
 	}
 }
 

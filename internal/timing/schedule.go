@@ -16,9 +16,11 @@ import "sort"
 //     are therefore eligible for admission. A ticket enters this list
 //     exactly once — when it becomes a stream head — so per-cycle
 //     admission work is O(newly ready), not O(|queue|).
-//   - copies: admitted, in-flight copy tickets. Completion checks and
-//     the fast-forward wake computation walk this list, which is bounded
-//     by the copy engine's occupancy, not the batch size.
+//   - timed: admitted tickets that retire at a precomputed absolute
+//     cycle — in-flight copies and replay-hit kernels (hybrid replay
+//     mode, replay.go). Completion checks and the fast-forward wake
+//     computation walk this list, which is bounded by the in-flight
+//     operation count, not the batch size.
 //
 // Determinism contract: the old loop admitted eligible tickets by
 // scanning the queue in submission order, so when several streams become
@@ -35,7 +37,7 @@ type schedule struct {
 	queue  []*Ticket
 	cursor int       // first submission-queue index not yet retired
 	ready  []*Ticket // admission-eligible tickets (sorted by seq at admit time)
-	copies []*Ticket // admitted in-flight copies, kept in submission order
+	timed  []*Ticket // admitted copies + replay-hit kernels, in submission order
 }
 
 // newSchedule links every ticket to its same-stream predecessor and
@@ -95,59 +97,62 @@ func (s *schedule) clearReady() {
 	s.ready = s.ready[:0]
 }
 
-// addCopy registers an admitted in-flight copy, inserting it at its
+// addTimed registers an admitted ticket whose retirement cycle is
+// already known (a copy, or a replay-hit kernel), inserting it at its
 // submission position. Admission order can deviate from submission
-// order across cycles (an earlier-submitted copy can be unblocked later
-// by its own stream), but completion must apply functional memory
-// effects in submission order when several transfers end on the same
+// order across cycles (an earlier-submitted operation can be unblocked
+// later by its own stream), but completion must apply functional memory
+// effects in submission order when several operations end on the same
 // cycle — the reference loop scanned the whole queue in submission
 // order, and TestCopyCompletionSubmissionOrder pins the difference.
-// O(active copies) insertion.
-func (s *schedule) addCopy(t *Ticket) {
-	i := len(s.copies)
-	for i > 0 && s.copies[i-1].seq > t.seq {
+// O(in-flight timed tickets) insertion.
+func (s *schedule) addTimed(t *Ticket) {
+	i := len(s.timed)
+	for i > 0 && s.timed[i-1].seq > t.seq {
 		i--
 	}
-	s.copies = append(s.copies, nil)
-	copy(s.copies[i+1:], s.copies[i:])
-	s.copies[i] = t
+	s.timed = append(s.timed, nil)
+	copy(s.timed[i+1:], s.timed[i:])
+	s.timed[i] = t
 }
 
-// completeCopies finishes every in-flight copy whose modelled transfer
-// has ended by `cycle`: the functional memory effect runs now, in
-// submission order, and the ticket retires. Remaining copies stay in
-// submission order. O(active copies).
-func (s *schedule) completeCopies(cycle uint64) {
-	if len(s.copies) == 0 {
-		return
+// completeTimed finishes every timed ticket whose modelled end has been
+// reached by `cycle`: finish applies the ticket's functional effect and
+// stats (the engine's copy apply or replay retirement), in submission
+// order, and the ticket retires. Remaining tickets stay in submission
+// order. A finish error aborts immediately; the caller tears the batch
+// down, so the list's partial state is never reused. O(in-flight).
+func (s *schedule) completeTimed(cycle uint64, finish func(*Ticket) error) error {
+	if len(s.timed) == 0 {
+		return nil
 	}
-	keep := s.copies[:0]
-	for _, t := range s.copies {
+	keep := s.timed[:0]
+	for _, t := range s.timed {
 		if cycle >= t.endCycle {
-			if t.copyApply != nil {
-				t.copyApply()
-				t.copyApply = nil
+			if err := finish(t); err != nil {
+				return err
 			}
-			t.stats.Cycles = t.endCycle - t.startCycle
-			t.done = true
 			s.complete(t)
 		} else {
 			keep = append(keep, t)
 		}
 	}
-	for i := len(keep); i < len(s.copies); i++ {
-		s.copies[i] = nil
+	for i := len(keep); i < len(s.timed); i++ {
+		s.timed[i] = nil
 	}
-	s.copies = keep
+	s.timed = keep
+	return nil
 }
 
-// earliestCopyEnd returns the next copy-completion cycle, or ^uint64(0)
-// when no copy is in flight. This bounds every idle-cycle fast-forward:
-// a completing copy can admit new kernels, so the clock may never jump
-// past it.
-func (s *schedule) earliestCopyEnd() uint64 {
+// earliestTimedEnd returns the next timed-completion cycle (copy or
+// replay retirement), or ^uint64(0) when none is in flight. This bounds
+// every idle-cycle fast-forward: a completing timed ticket can admit new
+// kernels, so the clock may never jump past it. Replay completions being
+// absolute-cycle events on this list is what keeps the PR 4/5
+// fast-forward invariant intact under hybrid replay.
+func (s *schedule) earliestTimedEnd() uint64 {
 	wake := ^uint64(0)
-	for _, t := range s.copies {
+	for _, t := range s.timed {
 		if t.endCycle < wake {
 			wake = t.endCycle
 		}

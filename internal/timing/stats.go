@@ -31,6 +31,8 @@ type MemCounters struct {
 	DRAMAccesses uint64
 	DRAMRowHits  uint64
 	StallCycles  uint64 // ingress/port/MSHR reservation waits, summed over segments
+	SegCycles    uint64 // issue-to-response latency, summed over serviced segments
+	SegServed    uint64 // partition-serviced segment count
 }
 
 func (m *MemCounters) add(o MemCounters) {
@@ -40,6 +42,8 @@ func (m *MemCounters) add(o MemCounters) {
 	m.DRAMAccesses += o.DRAMAccesses
 	m.DRAMRowHits += o.DRAMRowHits
 	m.StallCycles += o.StallCycles
+	m.SegCycles += o.SegCycles
+	m.SegServed += o.SegServed
 }
 
 // KernelSample records one kernel's timing outcome, including its share
@@ -100,6 +104,27 @@ type Stats struct {
 	// much simulated time the event jump skipped. Purely a wall-clock
 	// optimisation: modelled cycle counts are identical either way.
 	FastForwardedCycles uint64
+
+	// Hybrid replay counters (Config.ReplayEnabled, see replay.go).
+	// ReplayHits counts launches retired from a memoized entry;
+	// ReplayMisses counts launches simulated in detail because no entry
+	// existed; ReplayResamples counts hits deliberately re-run in detail
+	// by the ReplayResampleEvery cadence. ReplayedCycles sums the
+	// memoized durations of replayed launches; DetailedKernelCycles sums
+	// the durations of kernels simulated in detail (always maintained,
+	// so the two split total kernel time when replay is on).
+	// ReplayDriftCycles sums |resampled − memoized| over re-samples —
+	// the measured error of the replay approximation. ReplayMemoApplied
+	// counts the hits whose functional effect came from a validated
+	// write-set memo (exec.GridMemo) instead of re-interpretation — the
+	// wall-clock fast path; the remaining hits re-executed functionally.
+	ReplayHits           uint64
+	ReplayMisses         uint64
+	ReplayResamples      uint64
+	ReplayedCycles       uint64
+	DetailedKernelCycles uint64
+	ReplayDriftCycles    uint64
+	ReplayMemoApplied    uint64
 
 	coreIPC   [][]uint64 // [core][bucket] warp instructions issued
 	laneCount [][]uint64 // [active lanes 1..32 -> idx 0..31][bucket]
@@ -211,6 +236,13 @@ func (s *Stats) merge(o *Stats) {
 	s.SegCycles += o.SegCycles
 	s.SegServed += o.SegServed
 	s.FastForwardedCycles += o.FastForwardedCycles
+	s.ReplayHits += o.ReplayHits
+	s.ReplayMisses += o.ReplayMisses
+	s.ReplayResamples += o.ReplayResamples
+	s.ReplayedCycles += o.ReplayedCycles
+	s.DetailedKernelCycles += o.DetailedKernelCycles
+	s.ReplayDriftCycles += o.ReplayDriftCycles
+	s.ReplayMemoApplied += o.ReplayMemoApplied
 	for c := range o.coreIPC {
 		s.coreIPC[c] = mergeSeries(s.coreIPC[c], o.coreIPC[c], o.base)
 	}
@@ -275,6 +307,17 @@ func (s *Stats) AvgSegmentLatency() float64 {
 		return 0
 	}
 	return float64(s.SegCycles) / float64(s.SegServed)
+}
+
+// ReplayCoverage returns the fraction of kernel launches retired from
+// the replay cache: hits / (hits + misses + resamples). 0 when replay
+// is disabled or no kernel has been launched.
+func (s *Stats) ReplayCoverage() float64 {
+	total := s.ReplayHits + s.ReplayMisses + s.ReplayResamples
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ReplayHits) / float64(total)
 }
 
 // Interval returns the sample bucket width in cycles.

@@ -139,6 +139,16 @@ func TestMainPackagesSmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("gpgpusim_workload_transformer_replay", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "gpgpusim"),
+			"-workload", "transformer", "-replay")
+		for _, want := range []string{"transformer replay workload", "replay coverage", "hits", "per-kernel replay coverage"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in transformer replay output:\n%s", want, out)
+			}
+		}
+	})
+
 	t.Run("gpgpusim_workload_membound", func(t *testing.T) {
 		out := runBinary(t, filepath.Join(bin, "gpgpusim"), "-workload", "membound")
 		for _, want := range []string{"membound workload", "avg_seg_lat", "load-dependent latency", "per-kernel memory counters"} {
@@ -214,7 +224,7 @@ func TestMainPackagesSmoke(t *testing.T) {
 
 	t.Run("aerialvision", func(t *testing.T) {
 		dir := filepath.Join(t.TempDir(), "aerial")
-		out := runBinary(t, filepath.Join(bin, "aerialvision"), "-o", dir)
+		out := runBinary(t, filepath.Join(bin, "aerialvision"), "-o", dir, "-replay")
 		if !strings.Contains(out, "wrote") {
 			t.Fatalf("aerialvision reported no files:\n%s", out)
 		}
@@ -224,6 +234,13 @@ func TestMainPackagesSmoke(t *testing.T) {
 		}
 		if _, err := os.Stat(filepath.Join(dir, "kernel_mem.csv")); err != nil {
 			t.Fatalf("aerialvision did not write the per-kernel memory CSV: %v", err)
+		}
+		replayCSV, err := os.ReadFile(filepath.Join(dir, "kernel_replay.csv"))
+		if err != nil {
+			t.Fatalf("aerialvision -replay did not write the replay coverage CSV: %v", err)
+		}
+		if !strings.HasPrefix(string(replayCSV), "kernel,launches,replayed,") {
+			t.Fatalf("kernel_replay.csv header unexpected:\n%s", replayCSV[:min(len(replayCSV), 200)])
 		}
 	})
 }
