@@ -12,6 +12,7 @@ import (
 	"repro/internal/aerial"
 	"repro/internal/core"
 	"repro/internal/cudart"
+	"repro/internal/serve"
 )
 
 // writeKernelMem writes the per-kernel memory-counter table.
@@ -62,12 +63,46 @@ func writeKernelReplay(path string, resampleEvery int) {
 	fmt.Printf("wrote %s (replay coverage %.1f%%)\n", f.Name(), 100*res.Coverage)
 }
 
+// writeServeLatency runs a seeded open-loop serving scenario under
+// continuous batching and writes the latency-percentiles-over-time
+// windows as serve_latency.csv.
+func writeServeLatency(path string, rate float64, requests int) {
+	tr := serve.Poisson(1, rate, requests, 12, 2)
+	res, err := serve.Run(serve.Config{}, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aerialvision:", err)
+		os.Exit(1)
+	}
+	var rows []aerial.ServeLatencyRow
+	for _, b := range res.LatencyOverTime(8) {
+		rows = append(rows, aerial.ServeLatencyRow{
+			EndCycle: b.EndCycle, Completed: b.Completed,
+			P50: b.P50, P99: b.P99, P999: b.P999,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := aerial.ServeLatencyCSV(f, rows); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (goodput %.1f req/Mcycle vs offered %.1f)\n",
+		f.Name(), res.Goodput(), tr.OfferedLoad())
+}
+
 func main() {
 	dir := flag.String("dir", "fwd", "direction: fwd | bwddata | bwdfilter")
 	algo := flag.String("algo", "fft", "convolution algorithm")
 	out := flag.String("o", "aerial_out", "output directory for CSV files")
 	replay := flag.Bool("replay", false, "additionally run the transformer batch in hybrid replay mode and write kernel_replay.csv (per-kernel replay coverage)")
 	resample := flag.Int("replay-resample", 0, "with -replay: re-simulate every Nth replay-cache hit in detail (0 = never)")
+	serveFlag := flag.Bool("serve", false, "additionally run a seeded open-loop serving scenario and write serve_latency.csv (latency percentiles over serving time)")
+	serveRate := flag.Float64("serve-rate", 40, "with -serve: offered Poisson arrival rate in requests per million cycles")
+	serveReqs := flag.Int("serve-requests", 16, "with -serve: requests in the generated stream")
 	flag.Parse()
 
 	res, err := core.RunConvSample(core.GTX1080Ti, core.ConvDirection(*dir), *algo, core.DefaultConvShape())
@@ -117,5 +152,8 @@ func main() {
 	write("warp_breakdown.csv", names, series)
 	if *replay {
 		writeKernelReplay(filepath.Join(*out, "kernel_replay.csv"), *resample)
+	}
+	if *serveFlag {
+		writeServeLatency(filepath.Join(*out, "serve_latency.csv"), *serveRate, *serveReqs)
 	}
 }

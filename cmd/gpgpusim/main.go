@@ -30,10 +30,17 @@ func main() {
 	workload := flag.String("workload", "", "built-in workload instead of a PTX file: "+workloadUsage())
 	replay := flag.Bool("replay", false, "with -workload transformer: repeat the batch in hybrid replay mode (memoized kernel timing) and report cache coverage")
 	resample := flag.Int("replay-resample", 0, "with -replay: re-simulate every Nth cache hit in detail and report the drift (0 = never)")
+	rate := flag.Float64("rate", 40, "with -workload serve: offered Poisson arrival rate in requests per million cycles (ignored with -trace)")
+	traceFile := flag.String("trace", "", "with -workload serve: replayable arrival-trace file to serve instead of a generated Poisson stream")
+	requests := flag.Int("requests", 24, "with -workload serve: requests in the generated Poisson stream (ignored with -trace)")
+	serveSeed := flag.Int64("serve-seed", 1, "with -workload serve: seed of the generated Poisson stream (ignored with -trace)")
 	flag.Parse()
 
 	if *workload != "" {
-		opts := workloadOpts{workers: *workers, streams: *streams, replay: *replay, resampleEvery: *resample}
+		opts := workloadOpts{
+			workers: *workers, streams: *streams, replay: *replay, resampleEvery: *resample,
+			rate: *rate, traceFile: *traceFile, requests: *requests, serveSeed: *serveSeed,
+		}
 		if err := runWorkloadFlag(*workload, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -137,6 +144,10 @@ type workloadOpts struct {
 	workers, streams int
 	replay           bool
 	resampleEvery    int
+	rate             float64
+	traceFile        string
+	requests         int
+	serveSeed        int64
 }
 
 // workloads is the single registry of -workload built-ins: the flag's
@@ -156,6 +167,11 @@ var workloads = []struct {
 			}
 			return runTransformerWorkload(o.workers, o.streams)
 		},
+	},
+	{
+		name: "serve",
+		desc: "serves an open-loop inference request stream (-rate or -trace) with continuous batching and reports p50/p99/p99.9 latency, TTFT and goodput; -replay retires repeated chains from the replay cache",
+		run:  runServeWorkload,
 	},
 	{
 		name: "membound",

@@ -176,6 +176,46 @@ func KernelReplayCSV(w io.Writer, rows []KernelReplayRow) error {
 	return err
 }
 
+// ServeLatencyRow is one serving-clock window of an inference-serving
+// run for ServeLatencySummary and ServeLatencyCSV: completions in the
+// window with their nearest-rank latency percentiles (mirrors the serve
+// package's LatencyBucket without importing it).
+type ServeLatencyRow struct {
+	EndCycle  uint64
+	Completed int
+	P50       float64
+	P99       float64
+	P999      float64
+}
+
+// ServeLatencySummary renders latency percentiles over serving time —
+// the aerial view of a saturation transient: watch p99 climb window by
+// window once the open-loop queue outruns the batch.
+func ServeLatencySummary(w io.Writer, title string, rows []ServeLatencyRow) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%12s %10s %12s %12s %12s\n",
+		"window_end", "completed", "p50_cy", "p99_cy", "p99.9_cy")
+	for _, r := range rows {
+		if r.Completed == 0 {
+			fmt.Fprintf(w, "%12d %10d %12s %12s %12s\n", r.EndCycle, 0, "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(w, "%12d %10d %12.0f %12.0f %12.0f\n",
+			r.EndCycle, r.Completed, r.P50, r.P99, r.P999)
+	}
+}
+
+// ServeLatencyCSV writes the serving latency windows as serve_latency.csv.
+func ServeLatencyCSV(w io.Writer, rows []ServeLatencyRow) error {
+	var b strings.Builder
+	b.WriteString("window_end_cycle,completed,p50_cycles,p99_cycles,p999_cycles\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%d,%.6g,%.6g,%.6g\n", r.EndCycle, r.Completed, r.P50, r.P99, r.P999)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
 // CSV writes rows as CSV with a header of bucket indices.
 func CSV(w io.Writer, rowNames []string, rows [][]float64) error {
 	width := 0

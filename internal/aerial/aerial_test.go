@@ -105,6 +105,36 @@ func TestKernelReplaySummary(t *testing.T) {
 	}
 }
 
+func TestServeLatencySummary(t *testing.T) {
+	var b strings.Builder
+	rows := []ServeLatencyRow{
+		{EndCycle: 1000, Completed: 3, P50: 400, P99: 900, P999: 950},
+		{EndCycle: 2000, Completed: 0}, // empty window: dashes, not zeros
+	}
+	ServeLatencySummary(&b, "serving latency", rows)
+	out := b.String()
+	for _, want := range []string{"serving latency", "window_end", "p99.9_cy", "400", "900", "950", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in summary:\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	if err := ServeLatencyCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "window_end_cycle,completed,p50_cycles,p99_cycles,p999_cycles" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1000,3,400,900,950" {
+		t.Errorf("row = %q", lines[1])
+	}
+	if lines[2] != "2000,0,0,0,0" {
+		t.Errorf("empty-window row = %q", lines[2])
+	}
+}
+
 func TestStackedSummarySkipsZeroRows(t *testing.T) {
 	var b strings.Builder
 	StackedSummary(&b, "warp", []string{"used", "empty"},

@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// BenchmarkServeSaturation sweeps offered load across the serving
+// capacity of the small test model and reports the latency distribution
+// at each point — the saturation-knee curve BENCH_7.json records. Below
+// the knee goodput tracks offered load and p50 stays near the unloaded
+// service time; past it the open-loop queue grows without bound and the
+// tail percentiles diverge.
+func BenchmarkServeSaturation(b *testing.B) {
+	for _, rate := range []float64{10, 20, 40, 60, 90, 150, 300} {
+		b.Run(fmt.Sprintf("rate=%g", rate), func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				tr := Poisson(33, rate, 80, 6, 2)
+				var err error
+				res, err = Run(Config{Model: testModel()}, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			lat := res.Latencies()
+			ttft := res.TTFTs()
+			b.ReportMetric(res.Trace.OfferedLoad(), "offered_per_mcy")
+			b.ReportMetric(res.Goodput(), "goodput_per_mcy")
+			b.ReportMetric(stats.Percentile(lat, 50), "p50_cycles")
+			b.ReportMetric(stats.Percentile(lat, 99), "p99_cycles")
+			b.ReportMetric(stats.Percentile(lat, 99.9), "p999_cycles")
+			b.ReportMetric(stats.Percentile(ttft, 50), "ttft_p50_cycles")
+			b.ReportMetric(res.Utilization(), "utilization")
+			b.ReportMetric(float64(res.PeakBatch), "peak_batch")
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceParse hammers the arrival-trace parser with arbitrary bytes:
+// it must never panic, malformed input must error, and anything it
+// accepts must satisfy the trace invariants and round-trip through
+// Format exactly.
+func FuzzTraceParse(f *testing.F) {
+	f.Add("# gpgpusim-serve-trace v1\n0 6 1\n100 8 2\n")
+	f.Add("104 12 1\n2260 12 2\n")
+	f.Add("abc 6 1\n")
+	f.Add("-5 6 1\n")
+	f.Add("200 6 1\n100 6 1\n")
+	f.Add("100 6\n")
+	f.Add("100 6 1 9\n")
+	f.Add("100 0 1\n")
+	f.Add("100 6 0\n")
+	f.Add("# only comments\n\n\n")
+	f.Add("18446744073709551615 1 1\n")
+	f.Add("99999999999999999999999999 6 1\n")
+	f.Add("\x00\xff garbage")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ParseTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if vErr := tr.validate(); vErr != nil {
+			t.Fatalf("accepted trace violates invariants: %v\ninput: %q", vErr, in)
+		}
+		for i, r := range tr.Requests {
+			if r.ID != i {
+				t.Fatalf("accepted trace has wrong ID at %d: %+v", i, r)
+			}
+		}
+		var buf bytes.Buffer
+		if fErr := tr.Format(&buf); fErr != nil {
+			t.Fatalf("accepted trace failed to format: %v", fErr)
+		}
+		again, rErr := ParseTrace(&buf)
+		if rErr != nil {
+			t.Fatalf("round trip failed to parse: %v", rErr)
+		}
+		if !reflect.DeepEqual(tr, again) {
+			t.Fatalf("round trip diverged:\n got %+v\nwant %+v", again, tr)
+		}
+	})
+}

@@ -1,0 +1,370 @@
+package serve
+
+// The continuous-batching scheduler: requests from an open-loop trace
+// join a running batch at kernel-chain boundaries, every admitted
+// request's chain rides its own CUDA stream through the detailed timing
+// engine, and completed requests leave the batch while later arrivals
+// take their place — iteration-level scheduling over the PR 3 stream
+// chains and the PR 4 O(active) drain.
+//
+// Determinism contract (the serving extension of the -j1 vs -jN
+// byte-identity contract): every scheduling decision — admission,
+// batch composition, stream assignment, completion — happens here on
+// the coordinator goroutine, in arrival order, keyed only off the
+// engine's deterministic cycle counts. Worker count can therefore never
+// change a serving run's Stats, per-request latencies or replay
+// counters, which TestServeWorkerDeterminism pins.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cudart"
+	"repro/internal/exec"
+	"repro/internal/stats"
+	"repro/internal/timing"
+	"repro/internal/torch"
+)
+
+// Config sizes a serving run.
+type Config struct {
+	// Model is the served transformer; a zero value selects DefaultModel.
+	Model torch.TransformerConfig
+	// Engine is the simulated GPU; a zero Name selects timing.GTX1050().
+	Engine timing.Config
+	// Workers is the engine's host worker count (0 = 1; negative = all
+	// CPUs). Results are byte-identical for any value.
+	Workers int
+	// MaxBatch caps concurrent requests in the batch. 0 derives the cap
+	// from the engine's occupancy headroom (see admissionCap).
+	MaxBatch int
+	// ModelSeed seeds the model weights (0 selects 7, the seed the other
+	// transformer drivers use).
+	ModelSeed int64
+	// Replay enables hybrid replay mode on the engine: repeated kernel
+	// chains retire from memoized timing, with functional effects still
+	// exact. ReplayResampleEvery is timing.Config.ReplayResampleEvery.
+	Replay              bool
+	ReplayResampleEvery int
+	// KeepOutputs retains each request's final-step output activations
+	// in Result.Outputs (the replay-equivalence tests compare them).
+	KeepOutputs bool
+}
+
+// DefaultModel is the served encoder: the same shape the transformer
+// workload family uses, so serve runs exercise every kernel family.
+func DefaultModel() torch.TransformerConfig {
+	return torch.TransformerConfig{
+		Layers: 2, Heads: 4, DModel: 32, FF: 64, Vocab: 61, MaxSeq: 16,
+	}
+}
+
+// RequestStats is one request's serving outcome. All times are absolute
+// cycles on the serving clock (cycle 0 = serving start).
+type RequestStats struct {
+	ID         int
+	SeqLen     int
+	Steps      int
+	Arrival    uint64
+	Admitted   uint64 // chain boundary the request joined the batch at
+	FirstToken uint64 // end of its first kernel-chain iteration
+	Completed  uint64 // end of its last kernel-chain iteration
+}
+
+// Latency returns arrival-to-completion cycles.
+func (r RequestStats) Latency() uint64 { return r.Completed - r.Arrival }
+
+// TTFT returns arrival-to-first-token cycles (end of the first chain
+// iteration that included the request).
+func (r RequestStats) TTFT() uint64 { return r.FirstToken - r.Arrival }
+
+// LatencyBucket is one time window of a serving run's latency series:
+// completions falling in (start, EndCycle] with their nearest-rank
+// percentiles — the rows behind serve_latency.csv.
+type LatencyBucket struct {
+	EndCycle  uint64
+	Completed int
+	P50       float64
+	P99       float64
+	P999      float64
+}
+
+// Result summarises a serving run.
+type Result struct {
+	Trace       Trace
+	Requests    []RequestStats // completion order
+	Outputs     [][]float32    // by request ID, final step (KeepOutputs)
+	TotalCycles uint64         // serving-clock end (busy + idle)
+	BusyCycles  uint64         // cycles spent inside chain iterations
+	Iterations  int            // kernel-chain boundaries crossed
+	BatchCap    int            // admission cap in effect
+	PeakBatch   int            // largest concurrent batch observed
+	Log         []cudart.KernelStats
+	Stats       timing.Stats // engine counters, replay counters included
+}
+
+// Latencies returns per-request latency samples in completion order.
+func (r *Result) Latencies() []float64 {
+	out := make([]float64, len(r.Requests))
+	for i, q := range r.Requests {
+		out[i] = float64(q.Latency())
+	}
+	return out
+}
+
+// TTFTs returns per-request time-to-first-token samples in completion
+// order.
+func (r *Result) TTFTs() []float64 {
+	out := make([]float64, len(r.Requests))
+	for i, q := range r.Requests {
+		out[i] = float64(q.TTFT())
+	}
+	return out
+}
+
+// Goodput returns completed requests per million cycles.
+func (r *Result) Goodput() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(len(r.Requests)) / float64(r.TotalCycles) * 1e6
+}
+
+// Utilization returns the fraction of serving time spent inside chain
+// iterations (the rest is idle waiting for arrivals).
+func (r *Result) Utilization() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.BusyCycles) / float64(r.TotalCycles)
+}
+
+// LatencyOverTime splits the serving span into n windows and returns the
+// completion-latency percentiles of each — latency percentiles over
+// time, the aerial serving view. Windows with no completions carry zero
+// percentiles and Completed == 0.
+func (r *Result) LatencyOverTime(n int) []LatencyBucket {
+	if n < 1 || r.TotalCycles == 0 {
+		return nil
+	}
+	width := (r.TotalCycles + uint64(n) - 1) / uint64(n)
+	if width == 0 {
+		width = 1
+	}
+	out := make([]LatencyBucket, n)
+	samples := make([][]float64, n)
+	for _, q := range r.Requests {
+		b := int(q.Completed / width)
+		if b >= n {
+			b = n - 1
+		}
+		samples[b] = append(samples[b], float64(q.Latency()))
+	}
+	for i := range out {
+		out[i].EndCycle = uint64(i+1) * width
+		out[i].Completed = len(samples[i])
+		if len(samples[i]) > 0 {
+			out[i].P50 = stats.Percentile(samples[i], 50)
+			out[i].P99 = stats.Percentile(samples[i], 99)
+			out[i].P999 = stats.Percentile(samples[i], 99.9)
+		}
+	}
+	return out
+}
+
+// admissionCap derives how many requests may share the batch from the
+// engine's occupancy headroom: each resident sequence's widest kernel
+// (the per-head attention GEMM or the FF projection, 8 warps per 16x16
+// tile CTA) must fit in the machine's warp contexts alongside the other
+// sequences'. Beyond that point extra sequences only deepen the
+// dispatcher queue without overlapping, so admitting them would grow
+// batch latency for no goodput — the serving analog of KV-cache
+// admission control. Always at least 1.
+func admissionCap(cfg *timing.Config, m torch.TransformerConfig, maxSeq int) int {
+	const tile, warpsPerCTA = 16, 8
+	tiles := func(n int) int { return (n + tile - 1) / tile }
+	attn := m.Heads * tiles(maxSeq) * tiles(maxSeq) * warpsPerCTA
+	wide := m.FF
+	if m.DModel > wide {
+		wide = m.DModel
+	}
+	proj := tiles(maxSeq) * tiles(wide) * warpsPerCTA
+	peak := attn
+	if proj > peak {
+		peak = proj
+	}
+	n := cfg.NumSMs * cfg.MaxWarpsPerSM / peak
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// tokensFor builds request id's deterministic token sequence.
+func tokensFor(id, seqLen, vocab int) []int32 {
+	ids := make([]int32, seqLen)
+	for j := range ids {
+		ids[j] = int32((id*13 + j*5) % vocab)
+	}
+	return ids
+}
+
+// activeReq is one request resident in the continuous batch.
+type activeReq struct {
+	req       Request
+	stats     RequestStats
+	stepsLeft int
+	admitted  bool // false until its first chain iteration completes
+}
+
+// Run simulates serving the trace to completion and returns the
+// per-request latency outcomes plus the engine-level statistics.
+func Run(cfg Config, tr Trace) (*Result, error) {
+	if err := tr.validate(); err != nil {
+		return nil, err
+	}
+	model := cfg.Model
+	if model.Layers == 0 {
+		model = DefaultModel()
+	}
+	engCfg := cfg.Engine
+	if engCfg.Name == "" {
+		engCfg = timing.GTX1050()
+	}
+	engCfg.ReplayEnabled = cfg.Replay
+	engCfg.ReplayResampleEvery = cfg.ReplayResampleEvery
+	for _, r := range tr.Requests {
+		if r.SeqLen > model.MaxSeq {
+			return nil, fmt.Errorf("serve: request %d seq_len %d exceeds the model's MaxSeq %d", r.ID, r.SeqLen, model.MaxSeq)
+		}
+	}
+	seed := cfg.ModelSeed
+	if seed == 0 {
+		seed = 7
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+
+	dev, err := torch.NewDevice(exec.BugSet{})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := timing.New(engCfg, timing.WithWorkers(workers))
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	dev.Ctx.SetRunner(timing.Runner{E: eng})
+	enc, err := torch.NewTransformerEncoder(dev, rand.New(rand.NewSource(seed)), model)
+	if err != nil {
+		return nil, err
+	}
+
+	// Everything live now is model state (weights, tables) that persists
+	// across iterations; allocations made past this point are
+	// iteration-transient and freed at each chain boundary, so the
+	// first-fit allocator re-issues identical addresses for identical
+	// batch compositions — the replay cache's hit condition, and a bound
+	// on the simulated memory a long trace touches.
+	baseline := map[uint64]bool{}
+	for _, a := range dev.Ctx.Alloc.LiveAllocations() {
+		baseline[a] = true
+	}
+
+	batchCap := cfg.MaxBatch
+	if batchCap <= 0 {
+		batchCap = admissionCap(&engCfg, model, model.MaxSeq)
+	}
+
+	res := &Result{Trace: tr, BatchCap: batchCap}
+	if cfg.KeepOutputs {
+		res.Outputs = make([][]float32, len(tr.Requests))
+	}
+
+	var (
+		now     uint64 // serving clock; 0 = serving start
+		active  []*activeReq
+		nextArr int // cursor into tr.Requests
+	)
+	for len(active) > 0 || nextArr < len(tr.Requests) {
+		// Idle fast-forward: an empty batch waits for the next arrival.
+		if len(active) == 0 && tr.Requests[nextArr].Arrival > now {
+			now = tr.Requests[nextArr].Arrival
+		}
+		// Admission, on the coordinator, in arrival order, gated by the
+		// occupancy headroom cap — never out of order, so a request can
+		// only be overtaken by completions, not by later arrivals.
+		for nextArr < len(tr.Requests) && len(active) < batchCap &&
+			tr.Requests[nextArr].Arrival <= now {
+			r := tr.Requests[nextArr]
+			nextArr++
+			active = append(active, &activeReq{
+				req:       r,
+				stepsLeft: r.Steps,
+				stats: RequestStats{
+					ID: r.ID, SeqLen: r.SeqLen, Steps: r.Steps,
+					Arrival: r.Arrival, Admitted: now,
+				},
+			})
+		}
+		if len(active) > res.PeakBatch {
+			res.PeakBatch = len(active)
+		}
+
+		// One continuous-batching iteration: every resident request's
+		// kernel chain on its own stream, drained at the chain boundary.
+		batch := make([][]int32, len(active))
+		for i, a := range active {
+			batch[i] = tokensFor(a.req.ID, a.req.SeqLen, model.Vocab)
+		}
+		iterStart := eng.Cycle()
+		outs, err := enc.ForwardBatch(batch, true)
+		if err != nil {
+			return nil, err
+		}
+		iterCycles := eng.Cycle() - iterStart
+		now += iterCycles
+		res.BusyCycles += iterCycles
+		res.Iterations++
+
+		// Retire finished requests (in batch order = admission order) and
+		// compact the batch; survivors keep their slots.
+		keep := active[:0]
+		for i, a := range active {
+			if !a.admitted {
+				a.admitted = true
+				a.stats.FirstToken = now
+			}
+			a.stepsLeft--
+			if a.stepsLeft > 0 {
+				keep = append(keep, a)
+				continue
+			}
+			a.stats.Completed = now
+			res.Requests = append(res.Requests, a.stats)
+			if cfg.KeepOutputs {
+				res.Outputs[a.req.ID] = outs[i]
+			}
+		}
+		for i := len(keep); i < len(active); i++ {
+			active[i] = nil
+		}
+		active = keep
+
+		// Free the iteration's transient allocations (id uploads,
+		// activations); outputs are already on the host.
+		for _, a := range dev.Ctx.Alloc.LiveAllocations() {
+			if !baseline[a] {
+				if err := dev.Ctx.Free(a); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	res.TotalCycles = now
+	res.Log = append([]cudart.KernelStats(nil), dev.Ctx.KernelStatsLog()...)
+	res.Stats = *eng.Stats()
+	return res, nil
+}

@@ -1,0 +1,201 @@
+// Package serve is the inference-serving scenario layer: an open-loop
+// request stream (seeded Poisson, bursty on/off, or a replayable trace
+// file) feeding transformer requests into a continuous-batching
+// scheduler that coalesces them onto CUDA streams in the detailed timing
+// model. The paper profiles ML workloads as closed batches; this package
+// simulates the serving regime — requests keep arriving whether or not
+// the simulated GPU keeps up — and reports the quantities serving
+// systems are judged by: p50/p99/p99.9 latency, time-to-first-token and
+// goodput versus offered load.
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Request is one inference request of an arrival trace: it arrives at an
+// absolute cycle on the serving clock (open loop — arrival times never
+// depend on service progress), carries SeqLen tokens, and needs Steps
+// kernel-chain iterations of the model (1 = a single forward pass; >1
+// models prefill + decode-style repeated chains, the granularity at
+// which continuous batching lets requests join and leave the batch).
+type Request struct {
+	ID      int
+	Arrival uint64 // cycles since serving start
+	SeqLen  int
+	Steps   int
+}
+
+// Trace is an ordered open-loop arrival stream.
+type Trace struct {
+	Requests []Request
+}
+
+// OfferedLoad returns the trace's offered load in requests per million
+// cycles (arrival count over the arrival span). 0 for traces with fewer
+// than two requests or a zero span.
+func (t Trace) OfferedLoad() float64 {
+	n := len(t.Requests)
+	if n < 2 {
+		return 0
+	}
+	span := t.Requests[n-1].Arrival - t.Requests[0].Arrival
+	if span == 0 {
+		return 0
+	}
+	return float64(n-1) / float64(span) * 1e6
+}
+
+// validate checks the structural invariants every consumer assumes:
+// arrivals sorted (open-loop generators emit in time order; the parser
+// rejects violations), and positive SeqLen/Steps.
+func (t Trace) validate() error {
+	var prev uint64
+	for i, r := range t.Requests {
+		if r.SeqLen < 1 {
+			return fmt.Errorf("serve: request %d has seq_len %d (must be >= 1)", i, r.SeqLen)
+		}
+		if r.Steps < 1 {
+			return fmt.Errorf("serve: request %d has steps %d (must be >= 1)", i, r.Steps)
+		}
+		if r.Arrival < prev {
+			return fmt.Errorf("serve: request %d arrives at cycle %d, before request %d at %d (out of order)", i, r.Arrival, i-1, prev)
+		}
+		prev = r.Arrival
+	}
+	return nil
+}
+
+// Poisson generates n arrivals as a seeded Poisson process with `rate`
+// requests per million cycles; every request carries seqLen tokens and
+// steps chain iterations. The same seed always yields the same trace.
+func Poisson(seed int64, rate float64, n, seqLen, steps int) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := Trace{Requests: make([]Request, 0, n)}
+	now := 0.0
+	for i := 0; i < n; i++ {
+		now += rng.ExpFloat64() / rate * 1e6
+		tr.Requests = append(tr.Requests, Request{
+			ID: i, Arrival: uint64(now), SeqLen: seqLen, Steps: steps,
+		})
+	}
+	return tr
+}
+
+// Bursty generates n arrivals as a seeded on/off process: bursts of
+// burstLen requests arriving as a Poisson stream at burstRate requests
+// per million cycles, separated by exponentially distributed silent gaps
+// with mean gapMean cycles — the diurnal/bursty shape open-loop serving
+// traces show, compressed to simulation scale.
+func Bursty(seed int64, burstRate float64, burstLen int, gapMean float64, n, seqLen, steps int) Trace {
+	if burstLen < 1 {
+		burstLen = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := Trace{Requests: make([]Request, 0, n)}
+	now := 0.0
+	for i := 0; i < n; i++ {
+		if i > 0 && i%burstLen == 0 {
+			now += rng.ExpFloat64() * gapMean
+		}
+		now += rng.ExpFloat64() / burstRate * 1e6
+		tr.Requests = append(tr.Requests, Request{
+			ID: i, Arrival: uint64(now), SeqLen: seqLen, Steps: steps,
+		})
+	}
+	return tr
+}
+
+// Merge interleaves traces by arrival time (stable: on ties the earlier
+// argument wins) and renumbers request IDs in the merged order. Used to
+// compose mixed scenarios, e.g. a Poisson baseline with bursts on top.
+func Merge(traces ...Trace) Trace {
+	var out Trace
+	for _, t := range traces {
+		out.Requests = append(out.Requests, t.Requests...)
+	}
+	sort.SliceStable(out.Requests, func(i, j int) bool {
+		return out.Requests[i].Arrival < out.Requests[j].Arrival
+	})
+	for i := range out.Requests {
+		out.Requests[i].ID = i
+	}
+	return out
+}
+
+// traceHeader is the first line of the replayable trace file format.
+const traceHeader = "# gpgpusim-serve-trace v1"
+
+// Format writes the trace in the replayable file format:
+//
+//	# gpgpusim-serve-trace v1
+//	# arrival_cycles seq_len steps
+//	104 12 1
+//	2260 12 2
+//
+// One record per line, fields space-separated, '#' lines and blank lines
+// ignored on parse. ParseTrace(Format(t)) round-trips exactly.
+func (t Trace) Format(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, traceHeader)
+	fmt.Fprintln(bw, "# arrival_cycles seq_len steps")
+	for _, r := range t.Requests {
+		fmt.Fprintf(bw, "%d %d %d\n", r.Arrival, r.SeqLen, r.Steps)
+	}
+	return bw.Flush()
+}
+
+// ParseTrace reads the replayable trace file format. It is strict where
+// a stochastic simulator must be: malformed or negative timestamps,
+// truncated records (fewer than three fields), trailing junk fields and
+// out-of-order arrivals are all errors, never silently skipped — a
+// corrupted trace must not quietly simulate a different scenario. It
+// never panics on arbitrary input (FuzzTraceParse).
+func ParseTrace(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var tr Trace
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return Trace{}, fmt.Errorf("serve: trace line %d: truncated record %q (want: arrival_cycles seq_len steps)", line, text)
+		}
+		if len(fields) > 3 {
+			return Trace{}, fmt.Errorf("serve: trace line %d: %d fields in %q (want 3: arrival_cycles seq_len steps)", line, len(fields), text)
+		}
+		arrival, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("serve: trace line %d: bad arrival timestamp %q: %v", line, fields[0], err)
+		}
+		seqLen, err := strconv.Atoi(fields[1])
+		if err != nil || seqLen < 1 {
+			return Trace{}, fmt.Errorf("serve: trace line %d: bad seq_len %q (positive integer required)", line, fields[1])
+		}
+		steps, err := strconv.Atoi(fields[2])
+		if err != nil || steps < 1 {
+			return Trace{}, fmt.Errorf("serve: trace line %d: bad steps %q (positive integer required)", line, fields[2])
+		}
+		if n := len(tr.Requests); n > 0 && arrival < tr.Requests[n-1].Arrival {
+			return Trace{}, fmt.Errorf("serve: trace line %d: arrival %d before previous arrival %d (trace must be time-ordered)", line, arrival, tr.Requests[n-1].Arrival)
+		}
+		tr.Requests = append(tr.Requests, Request{
+			ID: len(tr.Requests), Arrival: arrival, SeqLen: seqLen, Steps: steps,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, fmt.Errorf("serve: reading trace: %w", err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPoissonDeterministicAndOrdered(t *testing.T) {
+	a := Poisson(42, 100, 64, 12, 2)
+	b := Poisson(42, 100, 64, 12, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different Poisson traces")
+	}
+	if err := a.validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	c := Poisson(43, 100, 64, 12, 2)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	if len(a.Requests) != 64 {
+		t.Fatalf("want 64 requests, got %d", len(a.Requests))
+	}
+	for i, r := range a.Requests {
+		if r.ID != i || r.SeqLen != 12 || r.Steps != 2 {
+			t.Fatalf("request %d mis-stamped: %+v", i, r)
+		}
+	}
+}
+
+func TestBurstyDeterministicAndOrdered(t *testing.T) {
+	a := Bursty(7, 400, 4, 50_000, 32, 8, 1)
+	b := Bursty(7, 400, 4, 50_000, 32, 8, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different bursty traces")
+	}
+	if err := a.validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	// the off-gaps must actually show up: the max inter-arrival gap should
+	// dwarf the median one
+	var gaps []uint64
+	for i := 1; i < len(a.Requests); i++ {
+		gaps = append(gaps, a.Requests[i].Arrival-a.Requests[i-1].Arrival)
+	}
+	var maxGap uint64
+	for _, g := range gaps {
+		if g > maxGap {
+			maxGap = g
+		}
+	}
+	var sum uint64
+	for _, g := range gaps {
+		sum += g
+	}
+	if mean := sum / uint64(len(gaps)); maxGap < 3*mean {
+		t.Fatalf("trace does not look bursty: max gap %d vs mean %d", maxGap, mean)
+	}
+}
+
+func TestMergeOrdersAndRenumbers(t *testing.T) {
+	a := Trace{Requests: []Request{
+		{ID: 0, Arrival: 10, SeqLen: 4, Steps: 1},
+		{ID: 1, Arrival: 30, SeqLen: 4, Steps: 1},
+	}}
+	b := Trace{Requests: []Request{
+		{ID: 0, Arrival: 5, SeqLen: 8, Steps: 2},
+		{ID: 1, Arrival: 10, SeqLen: 8, Steps: 2},
+	}}
+	m := Merge(a, b)
+	wantArrivals := []uint64{5, 10, 10, 30}
+	wantSeqLens := []int{8, 4, 8, 4} // stable: a's arrival-10 request first
+	for i, r := range m.Requests {
+		if r.ID != i {
+			t.Fatalf("request %d not renumbered: %+v", i, r)
+		}
+		if r.Arrival != wantArrivals[i] || r.SeqLen != wantSeqLens[i] {
+			t.Fatalf("merged order wrong at %d: %+v", i, r)
+		}
+	}
+	if err := m.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceFormatParseRoundTrip(t *testing.T) {
+	want := Merge(Poisson(3, 200, 10, 6, 1), Bursty(4, 500, 3, 20_000, 6, 4, 3))
+	var buf bytes.Buffer
+	if err := want.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatalf("round trip failed to parse: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestParseTraceRejects pins the parser's strictness: every malformed
+// shape errors (never skipped, never a panic).
+func TestParseTraceRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"malformed_timestamp", "abc 6 1\n", "bad arrival timestamp"},
+		{"negative_timestamp", "-5 6 1\n", "bad arrival timestamp"},
+		{"float_timestamp", "1.5 6 1\n", "bad arrival timestamp"},
+		{"huge_timestamp", "99999999999999999999999999 6 1\n", "bad arrival timestamp"},
+		{"truncated_one_field", "100\n", "truncated record"},
+		{"truncated_two_fields", "100 6\n", "truncated record"},
+		{"trailing_junk", "100 6 1 9\n", "4 fields"},
+		{"zero_seqlen", "100 0 1\n", "bad seq_len"},
+		{"negative_seqlen", "100 -3 1\n", "bad seq_len"},
+		{"malformed_seqlen", "100 six 1\n", "bad seq_len"},
+		{"zero_steps", "100 6 0\n", "bad steps"},
+		{"malformed_steps", "100 6 x\n", "bad steps"},
+		{"out_of_order", "200 6 1\n100 6 1\n", "time-ordered"},
+		{"out_of_order_after_comment", "200 6 1\n# note\n100 6 1\n", "time-ordered"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseTrace(strings.NewReader(c.in))
+			if err == nil {
+				t.Fatalf("parse of %q succeeded, want error containing %q", c.in, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseTraceAccepts(t *testing.T) {
+	in := "# gpgpusim-serve-trace v1\n\n# a comment\n0 6 1\n  100   8   2  \n100 4 1\n"
+	got, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Request{
+		{ID: 0, Arrival: 0, SeqLen: 6, Steps: 1},
+		{ID: 1, Arrival: 100, SeqLen: 8, Steps: 2},
+		{ID: 2, Arrival: 100, SeqLen: 4, Steps: 1}, // ties are in-order
+	}
+	if !reflect.DeepEqual(got.Requests, want) {
+		t.Fatalf("parsed %+v, want %+v", got.Requests, want)
+	}
+}
+
+func TestOfferedLoad(t *testing.T) {
+	tr := Trace{Requests: []Request{
+		{Arrival: 0, SeqLen: 1, Steps: 1},
+		{Arrival: 500_000, SeqLen: 1, Steps: 1},
+		{Arrival: 1_000_000, SeqLen: 1, Steps: 1},
+	}}
+	if got := tr.OfferedLoad(); got != 2 {
+		t.Fatalf("offered load = %v, want 2 req/Mcycle", got)
+	}
+	if got := (Trace{}).OfferedLoad(); got != 0 {
+		t.Fatalf("empty trace offered load = %v, want 0", got)
+	}
+}

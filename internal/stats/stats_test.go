@@ -22,6 +22,64 @@ func TestPearson(t *testing.T) {
 	}
 }
 
+// TestPercentileNearestRank pins the nearest-rank semantics the serving
+// layer depends on: no interpolation, exact on small samples, input left
+// unmodified.
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		p       float64
+		want    float64
+	}{
+		{"empty", nil, 50, math.NaN()},
+		{"single_p50", []float64{7}, 50, 7},
+		{"single_p999", []float64{7}, 99.9, 7},
+		{"single_p0", []float64{7}, 0, 7},
+		{"two_p50", []float64{10, 20}, 50, 10},
+		{"two_p99", []float64{10, 20}, 99, 20},
+		{"ties_p50", []float64{5, 5, 5, 5}, 50, 5},
+		{"ties_mixed", []float64{1, 5, 5, 9}, 75, 5},
+		{"already_sorted_p50", []float64{1, 2, 3, 4, 5}, 50, 3},
+		{"already_sorted_p90", []float64{1, 2, 3, 4, 5}, 90, 5},
+		{"unsorted_p50", []float64{9, 1, 5, 3, 7}, 50, 5},
+		// nearest rank on 10 samples: p99.9 -> ceil(0.999*10)=10th value,
+		// the maximum — never an interpolated value between samples
+		{"p999_small_sample", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}, 99.9, 100},
+		{"p90_exact_boundary", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 90, 9},
+		{"p100", []float64{3, 1, 2}, 100, 3},
+		{"p_negative", []float64{3, 1, 2}, -5, 1},
+		{"p_over_100", []float64{3, 1, 2}, 200, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Percentile(c.samples, c.p)
+			if math.IsNaN(c.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("Percentile(%v, %v) = %v, want NaN", c.samples, c.p, got)
+				}
+				return
+			}
+			if got != c.want {
+				t.Fatalf("Percentile(%v, %v) = %v, want %v", c.samples, c.p, got, c.want)
+			}
+		})
+	}
+}
+
+// TestPercentileDoesNotMutateInput: the helper must sort a copy, not the
+// caller's slice (latency series are reported in completion order).
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	in := []float64{9, 1, 5, 3, 7}
+	Percentile(in, 99)
+	want := []float64{9, 1, 5, 3, 7}
+	for i := range in {
+		if in[i] != want[i] {
+			t.Fatalf("input mutated: %v", in)
+		}
+	}
+}
+
 // Property: Pearson is invariant under positive affine transforms.
 func TestPearsonAffineInvariance(t *testing.T) {
 	f := func(a, b, c, d int8) bool {

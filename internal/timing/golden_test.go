@@ -11,7 +11,9 @@ import (
 
 	"repro/internal/cudart"
 	"repro/internal/cudnn"
+	"repro/internal/serve"
 	"repro/internal/timing"
+	"repro/internal/torch"
 )
 
 var update = flag.Bool("update", false, "regenerate testdata/golden_stats.json")
@@ -155,6 +157,32 @@ func goldenStreams(t *testing.T) goldenEntry {
 	return makeGoldenEntry(snap.TotalCycles, snap.Log, &snap.Stats, true)
 }
 
+// goldenServe pins the inference-serving scenario: a 16-request pinned
+// arrival trace (one request every 20k cycles, 6 tokens, 2 chain
+// iterations) served by the continuous-batching scheduler on a 1-layer
+// encoder at -j1, including per-kernel instruction counts. Cycles here
+// are the serving clock (drain deltas plus idle fast-forwards), so the
+// whole admission/batching path is locked, not just the engine.
+func goldenServe(t *testing.T) goldenEntry {
+	t.Helper()
+	tr := serve.Trace{}
+	for i := 0; i < 16; i++ {
+		tr.Requests = append(tr.Requests, serve.Request{
+			ID: i, Arrival: uint64(i) * 20_000, SeqLen: 6, Steps: 2,
+		})
+	}
+	cfg := serve.Config{
+		Model: torch.TransformerConfig{
+			Layers: 1, Heads: 2, DModel: 16, FF: 32, Vocab: 29, MaxSeq: 8,
+		},
+	}
+	res, err := serve.Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return makeGoldenEntry(res.TotalCycles, res.Log, &res.Stats, true)
+}
+
 // TestGoldenStats locks in the cycle/IPC/L2 numbers of one GEMM, one
 // LeNet conv layer and the stream-overlapped transformer encoder under
 // the GTX 1050 model so silent timing drifts fail CI. Run with -update
@@ -165,6 +193,7 @@ func TestGoldenStats(t *testing.T) {
 		"lenet_conv1_igemm":            goldenRun(t, lenetConvLoad),
 		"transformer_encoder_streams":  goldenTransformer(t),
 		"concurrent_streams_asynccopy": goldenStreams(t),
+		"serve_small":                  goldenServe(t),
 	}
 	path := filepath.Join("testdata", "golden_stats.json")
 

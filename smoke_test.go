@@ -5,6 +5,7 @@ package gpgpusim
 // must run end to end with tiny configurations.
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -149,6 +150,30 @@ func TestMainPackagesSmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("gpgpusim_workload_serve", func(t *testing.T) {
+		// a pinned 16-request trace: arrivals every 40k cycles, 12 tokens,
+		// 2 chain iterations each — the percentile summary must appear
+		var trace strings.Builder
+		trace.WriteString("# gpgpusim-serve-trace v1\n")
+		for i := 0; i < 16; i++ {
+			fmt.Fprintf(&trace, "%d 12 2\n", i*40000)
+		}
+		traceFile := filepath.Join(t.TempDir(), "arrivals.trace")
+		if err := os.WriteFile(traceFile, []byte(trace.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out := runBinary(t, filepath.Join(bin, "gpgpusim"),
+			"-workload", "serve", "-trace", traceFile, "-j", "2")
+		for _, want := range []string{
+			"serve workload", "16 requests", "latency p50", "p99.9",
+			"ttft p50", "goodput", "latency percentiles over serving time",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in serve workload output:\n%s", want, out)
+			}
+		}
+	})
+
 	t.Run("gpgpusim_workload_membound", func(t *testing.T) {
 		out := runBinary(t, filepath.Join(bin, "gpgpusim"), "-workload", "membound")
 		for _, want := range []string{"membound workload", "avg_seg_lat", "load-dependent latency", "per-kernel memory counters"} {
@@ -224,7 +249,7 @@ func TestMainPackagesSmoke(t *testing.T) {
 
 	t.Run("aerialvision", func(t *testing.T) {
 		dir := filepath.Join(t.TempDir(), "aerial")
-		out := runBinary(t, filepath.Join(bin, "aerialvision"), "-o", dir, "-replay")
+		out := runBinary(t, filepath.Join(bin, "aerialvision"), "-o", dir, "-replay", "-serve")
 		if !strings.Contains(out, "wrote") {
 			t.Fatalf("aerialvision reported no files:\n%s", out)
 		}
@@ -241,6 +266,13 @@ func TestMainPackagesSmoke(t *testing.T) {
 		}
 		if !strings.HasPrefix(string(replayCSV), "kernel,launches,replayed,") {
 			t.Fatalf("kernel_replay.csv header unexpected:\n%s", replayCSV[:min(len(replayCSV), 200)])
+		}
+		serveCSV, err := os.ReadFile(filepath.Join(dir, "serve_latency.csv"))
+		if err != nil {
+			t.Fatalf("aerialvision -serve did not write the serving latency CSV: %v", err)
+		}
+		if !strings.HasPrefix(string(serveCSV), "window_end_cycle,completed,p50_cycles,") {
+			t.Fatalf("serve_latency.csv header unexpected:\n%s", serveCSV[:min(len(serveCSV), 200)])
 		}
 	})
 }
