@@ -63,6 +63,46 @@ func writeKernelReplay(path string, resampleEvery int) {
 	fmt.Printf("wrote %s (replay coverage %.1f%%)\n", f.Name(), 100*res.Coverage)
 }
 
+// writeDecodeThroughput runs the repeated KV-cached greedy-decode batch
+// in detailed and hybrid replay mode and writes the throughput
+// comparison as decode_throughput.csv.
+func writeDecodeThroughput(path string) {
+	const (
+		seqs, promptLen, newTokens = 2, 4, 6
+		iters                      = 4
+	)
+	var rows []aerial.DecodeThroughputRow
+	for _, mode := range []struct {
+		name   string
+		replay bool
+	}{{"detailed", false}, {"hybrid", true}} {
+		res, err := core.RunDecodeReplay(1, seqs, promptLen, newTokens, iters, 0, mode.replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aerialvision:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, aerial.DecodeThroughputRow{
+			Mode:            mode.name,
+			Iters:           res.Iters,
+			Tokens:          res.Seqs * res.NewTokens * res.Iters,
+			TotalCycles:     res.TotalCycles,
+			TokensPerMcycle: res.TokensPerMcycle(),
+			Coverage:        res.Coverage,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := aerial.DecodeThroughputCSV(f, rows); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (hybrid coverage %.1f%%)\n", f.Name(), 100*rows[1].Coverage)
+}
+
 // writeServeLatency runs a seeded open-loop serving scenario under
 // continuous batching and writes the latency-percentiles-over-time
 // windows as serve_latency.csv.
@@ -100,6 +140,7 @@ func main() {
 	out := flag.String("o", "aerial_out", "output directory for CSV files")
 	replay := flag.Bool("replay", false, "additionally run the transformer batch in hybrid replay mode and write kernel_replay.csv (per-kernel replay coverage)")
 	resample := flag.Int("replay-resample", 0, "with -replay: re-simulate every Nth replay-cache hit in detail (0 = never)")
+	decodeFlag := flag.Bool("decode", false, "additionally run the repeated KV-cached decode batch in detailed and hybrid replay mode and write decode_throughput.csv")
 	serveFlag := flag.Bool("serve", false, "additionally run a seeded open-loop serving scenario and write serve_latency.csv (latency percentiles over serving time)")
 	serveRate := flag.Float64("serve-rate", 40, "with -serve: offered Poisson arrival rate in requests per million cycles")
 	serveReqs := flag.Int("serve-requests", 16, "with -serve: requests in the generated stream")
@@ -152,6 +193,9 @@ func main() {
 	write("warp_breakdown.csv", names, series)
 	if *replay {
 		writeKernelReplay(filepath.Join(*out, "kernel_replay.csv"), *resample)
+	}
+	if *decodeFlag {
+		writeDecodeThroughput(filepath.Join(*out, "decode_throughput.csv"))
 	}
 	if *serveFlag {
 		writeServeLatency(filepath.Join(*out, "serve_latency.csv"), *serveRate, *serveReqs)

@@ -34,12 +34,16 @@ func main() {
 	traceFile := flag.String("trace", "", "with -workload serve: replayable arrival-trace file to serve instead of a generated Poisson stream")
 	requests := flag.Int("requests", 24, "with -workload serve: requests in the generated Poisson stream (ignored with -trace)")
 	serveSeed := flag.Int64("serve-seed", 1, "with -workload serve: seed of the generated Poisson stream (ignored with -trace)")
+	prompt := flag.Int("prompt", 4, "with -workload decode (or serve -decode): prompt tokens each sequence prefills")
+	gen := flag.Int("gen", 8, "with -workload decode (or serve -decode): tokens each sequence greedy-decodes")
+	serveDecode := flag.Bool("decode", false, "with -workload serve: generate a decode trace (-prompt prefill, -gen decode tokens per request) instead of encoder requests; KV-cache bytes gate admission")
 	flag.Parse()
 
 	if *workload != "" {
 		opts := workloadOpts{
 			workers: *workers, streams: *streams, replay: *replay, resampleEvery: *resample,
 			rate: *rate, traceFile: *traceFile, requests: *requests, serveSeed: *serveSeed,
+			prompt: *prompt, gen: *gen, serveDecode: *serveDecode,
 		}
 		if err := runWorkloadFlag(*workload, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -148,6 +152,8 @@ type workloadOpts struct {
 	traceFile        string
 	requests         int
 	serveSeed        int64
+	prompt, gen      int
+	serveDecode      bool
 }
 
 // workloads is the single registry of -workload built-ins: the flag's
@@ -172,6 +178,11 @@ var workloads = []struct {
 		name: "serve",
 		desc: "serves an open-loop inference request stream (-rate or -trace) with continuous batching and reports p50/p99/p99.9 latency, TTFT and goodput; -replay retires repeated chains from the replay cache",
 		run:  runServeWorkload,
+	},
+	{
+		name: "decode",
+		desc: "runs the KV-cached greedy-decode batch (-streams sequences, -prompt prefill + -gen generated tokens) in the detailed model, then repeats it in hybrid replay mode and reports tokens/sec and replay coverage",
+		run:  runDecodeWorkload,
 	},
 	{
 		name: "membound",

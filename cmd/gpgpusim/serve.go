@@ -25,6 +25,8 @@ func runServeWorkload(o workloadOpts) error {
 		if tr, err = serve.ParseTrace(f); err != nil {
 			return err
 		}
+	} else if o.serveDecode {
+		tr = serve.Poisson(o.serveSeed, o.rate, o.requests, 0, 0).WithDecode(o.prompt, o.gen)
 	} else {
 		tr = serve.Poisson(o.serveSeed, o.rate, o.requests, 12, 2)
 	}
@@ -49,6 +51,10 @@ func runServeWorkload(o workloadOpts) error {
 	}
 	fmt.Printf("serve workload: %d layers, %d heads, d_model %d — %d requests (%s), continuous batching cap %d (peak %d), %d iterations\n",
 		m.Layers, m.Heads, m.DModel, len(tr.Requests), src, res.BatchCap, res.PeakBatch, res.Iterations)
+	if res.Decode {
+		fmt.Printf("decode serving: per-request prefill+decode chains, KV budget %d bytes (peak resident %d)\n",
+			res.KVBudgetBytes, res.PeakKVBytes)
+	}
 	lat := res.Latencies()
 	ttft := res.TTFTs()
 	fmt.Printf("latency p50 %.0f p99 %.0f p99.9 %.0f cycles\n",

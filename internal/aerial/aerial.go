@@ -176,6 +176,45 @@ func KernelReplayCSV(w io.Writer, rows []KernelReplayRow) error {
 	return err
 }
 
+// DecodeThroughputRow is one simulation mode's summary of a repeated
+// KV-cached greedy-decode batch for DecodeThroughputSummary and
+// DecodeThroughputCSV: generated tokens against modelled cycles, plus
+// the replay-cache coverage the mode achieved (0 in detailed mode).
+type DecodeThroughputRow struct {
+	Mode            string // "detailed" or "hybrid"
+	Iters           int
+	Tokens          int // generated tokens across all iterations
+	TotalCycles     uint64
+	TokensPerMcycle float64
+	Coverage        float64 // replayed fraction of launches, 0..1
+}
+
+// DecodeThroughputSummary renders the decode throughput comparison: what
+// the steady-state decode loop costs in modelled cycles and how much of
+// it the replay cache absorbs.
+func DecodeThroughputSummary(w io.Writer, title string, rows []DecodeThroughputRow) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%-10s %6s %8s %14s %12s %10s\n",
+		"mode", "iters", "tokens", "total_cycles", "tok/Mcycle", "coverage%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %6d %8d %14d %12.2f %10.1f\n",
+			r.Mode, r.Iters, r.Tokens, r.TotalCycles, r.TokensPerMcycle, 100*r.Coverage)
+	}
+}
+
+// DecodeThroughputCSV writes the decode throughput rows as
+// decode_throughput.csv.
+func DecodeThroughputCSV(w io.Writer, rows []DecodeThroughputRow) error {
+	var b strings.Builder
+	b.WriteString("mode,iters,tokens,total_cycles,tokens_per_mcycle,coverage\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%.6g,%.6g\n",
+			r.Mode, r.Iters, r.Tokens, r.TotalCycles, r.TokensPerMcycle, r.Coverage)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
 // ServeLatencyRow is one serving-clock window of an inference-serving
 // run for ServeLatencySummary and ServeLatencyCSV: completions in the
 // window with their nearest-rank latency percentiles (mirrors the serve

@@ -105,6 +105,33 @@ func TestKernelReplaySummary(t *testing.T) {
 	}
 }
 
+func TestDecodeThroughputSummary(t *testing.T) {
+	var b strings.Builder
+	rows := []DecodeThroughputRow{
+		{Mode: "detailed", Iters: 5, Tokens: 60, TotalCycles: 1_500_000, TokensPerMcycle: 40},
+		{Mode: "hybrid", Iters: 5, Tokens: 60, TotalCycles: 1_480_000, TokensPerMcycle: 40.54, Coverage: 0.8},
+	}
+	DecodeThroughputSummary(&b, "decode throughput", rows)
+	out := b.String()
+	for _, want := range []string{"decode throughput", "tok/Mcycle", "detailed", "hybrid", "40.54", "80.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in summary:\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	if err := DecodeThroughputCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "mode,iters,tokens,total_cycles,tokens_per_mcycle,coverage" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[2] != "hybrid,5,60,1480000,40.54,0.8" {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
 func TestServeLatencySummary(t *testing.T) {
 	var b strings.Builder
 	rows := []ServeLatencyRow{

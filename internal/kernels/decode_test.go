@@ -1,0 +1,254 @@
+package kernels_test
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cudart"
+	"repro/internal/exec"
+	"repro/internal/ref"
+)
+
+// Table-driven tests for the KV-cached decode kernels, covering the
+// shape edge cases the satellite names: seq=1 prefill, cache lengths
+// crossing a tile/sector boundary (a 32B sector holds 8 floats, an L2
+// line 32), head dims that are not a warp multiple, and the final step
+// that fills the cache to maxSeq. Every case is checked against the
+// internal/ref oracle.
+
+func TestKVCacheAppendKernel(t *testing.T) {
+	ctx := newCtx(t)
+	rng := rand.New(rand.NewSource(81))
+	cases := []struct {
+		name                   string
+		seq, heads, dh, maxSeq int
+		pos                    int
+	}{
+		{"seq1_prefill", 1, 2, 8, 8, 0},
+		{"decode_step_mid_cache", 1, 4, 8, 16, 9},
+		{"prefill_bulk", 6, 2, 8, 16, 0},
+		{"dh_not_warp_multiple", 2, 3, 7, 12, 4},
+		{"max_cache_length_step", 1, 2, 8, 8, 7},
+		{"sector_boundary_pos", 1, 2, 4, 40, 8}, // row 8 of dh=4 starts a new 32B sector
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := randSlice(rng, c.seq*c.heads*c.dh)
+			cache := randSlice(rng, c.heads*c.maxSeq*c.dh)
+			want := append([]float32(nil), cache...)
+			ref.CacheAppend(want, in, c.seq, c.heads, c.dh, c.maxSeq, c.pos)
+			pin, pc := upload(t, ctx, in), upload(t, ctx, cache)
+			n := c.seq * c.heads * c.dh
+			params := cudart.NewParams().Ptr(pin).Ptr(pc).
+				U32(uint32(c.seq)).U32(uint32(c.heads)).U32(uint32(c.dh)).
+				U32(uint32(c.maxSeq)).U32(uint32(c.pos))
+			if _, err := ctx.Launch("kv_cache_append", grid1D(n, 256), exec.Dim3{X: 256}, params, 0); err != nil {
+				t.Fatalf("launch: %v", err)
+			}
+			got := ctx.MemcpyF32DtoH(pc, len(cache))
+			if d := maxAbsDiff(got, want); d != 0 {
+				t.Fatalf("cache append %s: max diff %g (want exact)", c.name, d)
+			}
+		})
+	}
+}
+
+func TestAttnQKCachedKernel(t *testing.T) {
+	ctx := newCtx(t)
+	rng := rand.New(rand.NewSource(82))
+	cases := []struct {
+		name                        string
+		heads, dh, maxSeq, cacheLen int
+	}{
+		{"seq1_prefill", 2, 8, 8, 1},
+		{"cache_crosses_sector", 2, 8, 16, 9}, // 9 rows of 32B: crosses the 8-float sector
+		{"cache_crosses_l2_line", 1, 4, 64, 33},
+		{"dh_not_warp_multiple", 3, 7, 12, 5},
+		{"max_cache_length_step", 2, 8, 8, 8},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			scale := float32(1 / math.Sqrt(float64(c.dh)))
+			q := randSlice(rng, c.heads*c.dh)
+			cacheK := randSlice(rng, c.heads*c.maxSeq*c.dh)
+			want := ref.AttnScoresCached(q, cacheK, 1, c.heads, c.dh, c.maxSeq, c.cacheLen, scale)
+			pq, pk := upload(t, ctx, q), upload(t, ctx, cacheK)
+			ps := alloc(t, ctx, c.heads*c.cacheLen)
+			n := c.heads * c.cacheLen
+			params := cudart.NewParams().Ptr(pq).Ptr(pk).Ptr(ps).
+				U32(uint32(c.heads)).U32(uint32(c.dh)).
+				U32(uint32(c.maxSeq)).U32(uint32(c.cacheLen)).F32(scale)
+			if _, err := ctx.Launch("attn_qk_cached", grid1D(n, 128), exec.Dim3{X: 128}, params, 0); err != nil {
+				t.Fatalf("launch: %v", err)
+			}
+			got := ctx.MemcpyF32DtoH(ps, n)
+			if d := maxAbsDiff(got, want); d > 1e-5 {
+				t.Fatalf("qk cached %s: max diff %g", c.name, d)
+			}
+		})
+	}
+}
+
+func TestSoftmaxCausalKernel(t *testing.T) {
+	ctx := newCtx(t)
+	rng := rand.New(rand.NewSource(83))
+	cases := []struct {
+		name                  string
+		heads, seq, cols, pos int
+	}{
+		{"seq1_prefill", 2, 1, 1, 0},
+		{"decode_step", 2, 1, 9, 8}, // one query over a 9-long cache
+		{"prefill_masked_rows", 2, 4, 4, 0},
+		{"cols_cross_warp", 1, 2, 40, 38},
+		{"max_cache_length_step", 2, 1, 8, 7},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rows := c.heads * c.seq
+			x := randSlice(rng, rows*c.cols)
+			want := ref.SoftmaxCausal(x, rows, c.cols, c.seq, c.pos)
+			px := upload(t, ctx, x)
+			py := alloc(t, ctx, rows*c.cols)
+			params := cudart.NewParams().Ptr(px).Ptr(py).
+				U32(uint32(c.cols)).U32(uint32(c.seq)).U32(uint32(c.pos))
+			if _, err := ctx.Launch("softmax_causal", exec.Dim3{X: rows}, exec.Dim3{X: 32}, params, 0); err != nil {
+				t.Fatalf("launch: %v", err)
+			}
+			got := ctx.MemcpyF32DtoH(py, rows*c.cols)
+			if d := maxAbsDiff(got, want); d > 1e-4 {
+				t.Fatalf("softmax causal %s: max diff %g", c.name, d)
+			}
+			// masked columns must be exact zeros — the downstream
+			// probabilities·V product reads the full row
+			for r := 0; r < rows; r++ {
+				vlen := c.pos + r%c.seq + 1
+				for j := vlen; j < c.cols; j++ {
+					if got[r*c.cols+j] != 0 {
+						t.Fatalf("softmax causal %s: masked [%d,%d] = %g, want exact 0",
+							c.name, r, j, got[r*c.cols+j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAttnAVCachedKernel(t *testing.T) {
+	ctx := newCtx(t)
+	rng := rand.New(rand.NewSource(84))
+	cases := []struct {
+		name                        string
+		heads, dh, maxSeq, cacheLen int
+	}{
+		{"seq1_prefill", 2, 8, 8, 1},
+		{"cache_crosses_sector", 2, 8, 16, 9},
+		{"dh_not_warp_multiple", 3, 7, 12, 5},
+		{"max_cache_length_step", 2, 8, 8, 8},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			probs := randSlice(rng, c.heads*c.cacheLen)
+			cacheV := randSlice(rng, c.heads*c.maxSeq*c.dh)
+			want := ref.AttnContextCached(probs, cacheV, 1, c.heads, c.dh, c.maxSeq, c.cacheLen)
+			pp, pv := upload(t, ctx, probs), upload(t, ctx, cacheV)
+			po := alloc(t, ctx, c.heads*c.dh)
+			n := c.heads * c.dh
+			params := cudart.NewParams().Ptr(pp).Ptr(pv).Ptr(po).
+				U32(uint32(c.heads)).U32(uint32(c.dh)).
+				U32(uint32(c.maxSeq)).U32(uint32(c.cacheLen))
+			if _, err := ctx.Launch("attn_av_cached", grid1D(n, 128), exec.Dim3{X: 128}, params, 0); err != nil {
+				t.Fatalf("launch: %v", err)
+			}
+			got := ctx.MemcpyF32DtoH(po, n)
+			if d := maxAbsDiff(got, want); d > 1e-5 {
+				t.Fatalf("av cached %s: max diff %g", c.name, d)
+			}
+		})
+	}
+}
+
+func TestLogitGemvKernel(t *testing.T) {
+	ctx := newCtx(t)
+	rng := rand.New(rand.NewSource(85))
+	cases := []struct {
+		name       string
+		vocab, dim int
+	}{
+		{"tiny", 3, 4},
+		{"dim_not_warp_multiple", 29, 33},
+		{"vocab_crosses_block", 200, 16},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			x := randSlice(rng, c.dim)
+			table := randSlice(rng, c.vocab*c.dim)
+			want := ref.LogitGemv(x, table, c.vocab, c.dim)
+			px, pt := upload(t, ctx, x), upload(t, ctx, table)
+			pl := alloc(t, ctx, c.vocab)
+			params := cudart.NewParams().Ptr(px).Ptr(pt).Ptr(pl).
+				U32(uint32(c.vocab)).U32(uint32(c.dim))
+			if _, err := ctx.Launch("logit_gemv", grid1D(c.vocab, 128), exec.Dim3{X: 128}, params, 0); err != nil {
+				t.Fatalf("launch: %v", err)
+			}
+			got := ctx.MemcpyF32DtoH(pl, c.vocab)
+			if d := maxAbsDiff(got, want); d > 1e-5 {
+				t.Fatalf("logit gemv %s: max diff %g", c.name, d)
+			}
+		})
+	}
+}
+
+func TestArgmaxU32Kernel(t *testing.T) {
+	ctx := newCtx(t)
+	rng := rand.New(rand.NewSource(86))
+	cases := []struct {
+		name string
+		x    []float32
+	}{
+		{"single", []float32{-2}},
+		{"max_in_tail_lane", func() []float32 {
+			x := randSlice(rng, 100)
+			x[97] = 5
+			return x
+		}()},
+		{"tie_lowest_index_wins", func() []float32 {
+			x := make([]float32, 70)
+			for i := range x {
+				x[i] = -1
+			}
+			x[13], x[45], x[62] = 3, 3, 3
+			return x
+		}()},
+		{"tie_across_lanes", func() []float32 {
+			// equal maxima in different reduction lanes: 7 and 40
+			x := randSlice(rng, 64)
+			for i := range x {
+				x[i] -= 10
+			}
+			x[40], x[7] = 2, 2
+			return x
+		}()},
+		{"all_negative", []float32{-5, -3, -9, -3.5}},
+		{"random_n_not_warp_multiple", randSlice(rng, 37)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want := ref.Argmax(c.x, 1, len(c.x))[0]
+			px := upload(t, ctx, c.x)
+			pout := alloc(t, ctx, 4)
+			const outIdx = 2
+			params := cudart.NewParams().Ptr(px).U32(uint32(len(c.x))).Ptr(pout).U32(outIdx)
+			if _, err := ctx.Launch("argmax_u32", exec.Dim3{X: 1}, exec.Dim3{X: 32}, params, 0); err != nil {
+				t.Fatalf("launch: %v", err)
+			}
+			raw := make([]byte, 16)
+			ctx.MemcpyDtoH(raw, pout)
+			got := int(binary.LittleEndian.Uint32(raw[outIdx*4:]))
+			if got != want {
+				t.Fatalf("argmax %s: got %d, want %d", c.name, got, want)
+			}
+		})
+	}
+}

@@ -70,11 +70,22 @@ func ModuleTransformer() string {
 	)
 }
 
+// ModuleDecode contains the KV-cached autoregressive-decode kernels:
+// cache append, the single-token attention GEMVs over the cache, the
+// causal-masked softmax, the tied-embedding logit GEMV and the on-device
+// greedy argmax.
+func ModuleDecode() string {
+	return Module(nil,
+		KVCacheAppend(), AttnQKCached(), AttnAVCached(), SoftmaxCausal(),
+		LogitGemv(), ArgmaxU32(),
+	)
+}
+
 // AllModules returns every library module, in registration order.
 func AllModules() []string {
 	return []string{
 		ModuleElementwise(), ModuleGemm(), ModuleConvDirect(),
 		ModuleFFT(), ModuleWinograd(), ModulePoolSoftmax(), ModuleLRN(),
-		ModuleTransformer(),
+		ModuleTransformer(), ModuleDecode(),
 	}
 }

@@ -22,6 +22,11 @@ func FuzzTraceParse(f *testing.F) {
 	f.Add("100 0 1\n")
 	f.Add("100 6 0\n")
 	f.Add("# only comments\n\n\n")
+	f.Add("# gpgpusim-serve-trace v2\n0 6 1\n100 4 3\n")
+	f.Add("# gpgpusim-serve-trace v2\n100 0 2\n")
+	f.Add("# gpgpusim-serve-trace v2\n100 6 0\n")
+	f.Add("# gpgpusim-serve-trace v2\n100 -3 2\n")
+	f.Add("100 6 2\n# gpgpusim-serve-trace v2\n")
 	f.Add("18446744073709551615 1 1\n")
 	f.Add("99999999999999999999999999 6 1\n")
 	f.Add("\x00\xff garbage")

@@ -47,9 +47,20 @@ type Config struct {
 	Replay              bool
 	ReplayResampleEvery int
 	// KeepOutputs retains each request's final-step output activations
-	// in Result.Outputs (the replay-equivalence tests compare them).
+	// in Result.Outputs (decode traces: its generated tokens in
+	// Result.Tokens instead). The replay-equivalence tests compare them.
 	KeepOutputs bool
+	// KVBudgetBytes caps the modelled KV-cache bytes resident across the
+	// batch on decode traces: a request is only admitted while the sum of
+	// per-session cache footprints (torch.KVCacheBytes of the model) stays
+	// within the budget, and retirement frees its share. 0 selects
+	// DefaultKVBudgetBytes. Ignored on v1 traces.
+	KVBudgetBytes int
 }
+
+// DefaultKVBudgetBytes is the decode admission budget when
+// Config.KVBudgetBytes is zero — 256 KiB, 32 DefaultModel sessions.
+const DefaultKVBudgetBytes = 256 << 10
 
 // DefaultModel is the served encoder: the same shape the transformer
 // workload family uses, so serve runs exercise every kernel family.
@@ -101,6 +112,14 @@ type Result struct {
 	PeakBatch   int            // largest concurrent batch observed
 	Log         []cudart.KernelStats
 	Stats       timing.Stats // engine counters, replay counters included
+
+	// Decode-trace fields (zero on v1 traces): the KV admission budget in
+	// effect, the largest resident KV footprint observed, and — with
+	// KeepOutputs — each request's generated token ids by request ID.
+	Decode        bool
+	KVBudgetBytes int
+	PeakKVBytes   int
+	Tokens        [][]int32
 }
 
 // Latencies returns per-request latency samples in completion order.
@@ -215,6 +234,11 @@ type activeReq struct {
 	stats     RequestStats
 	stepsLeft int
 	admitted  bool // false until its first chain iteration completes
+	// session is the request's KV-cache decode state (decode traces
+	// only). It persists across chain iterations — its allocations are
+	// excluded from the per-boundary transient frees — and is released
+	// at retirement, returning its bytes to the KV admission budget.
+	session *torch.DecodeSession
 }
 
 // Run simulates serving the trace to completion and returns the
@@ -233,9 +257,13 @@ func Run(cfg Config, tr Trace) (*Result, error) {
 	}
 	engCfg.ReplayEnabled = cfg.Replay
 	engCfg.ReplayResampleEvery = cfg.ReplayResampleEvery
+	decode := tr.decodeMode()
 	for _, r := range tr.Requests {
 		if r.SeqLen > model.MaxSeq {
 			return nil, fmt.Errorf("serve: request %d seq_len %d exceeds the model's MaxSeq %d", r.ID, r.SeqLen, model.MaxSeq)
+		}
+		if decode && r.Prefill+r.Decode-1 > model.MaxSeq {
+			return nil, fmt.Errorf("serve: request %d prefill %d + decode %d exceeds the model's MaxSeq %d", r.ID, r.Prefill, r.Decode, model.MaxSeq)
 		}
 	}
 	seed := cfg.ModelSeed
@@ -257,9 +285,26 @@ func Run(cfg Config, tr Trace) (*Result, error) {
 	}
 	defer eng.Close()
 	dev.Ctx.SetRunner(timing.Runner{E: eng})
-	enc, err := torch.NewTransformerEncoder(dev, rand.New(rand.NewSource(seed)), model)
+	var (
+		enc *torch.TransformerEncoder
+		dec *torch.TransformerDecoder
+	)
+	if decode {
+		dec, err = torch.NewTransformerDecoder(dev, rand.New(rand.NewSource(seed)), model)
+	} else {
+		enc, err = torch.NewTransformerEncoder(dev, rand.New(rand.NewSource(seed)), model)
+	}
 	if err != nil {
 		return nil, err
+	}
+
+	kvBytes := torch.KVCacheBytes(model)
+	kvBudget := cfg.KVBudgetBytes
+	if kvBudget <= 0 {
+		kvBudget = DefaultKVBudgetBytes
+	}
+	if decode && kvBytes > kvBudget {
+		return nil, fmt.Errorf("serve: KV budget %d bytes cannot hold even one session (%d bytes per request)", kvBudget, kvBytes)
 	}
 
 	// Everything live now is model state (weights, tables) that persists
@@ -278,36 +323,69 @@ func Run(cfg Config, tr Trace) (*Result, error) {
 		batchCap = admissionCap(&engCfg, model, model.MaxSeq)
 	}
 
-	res := &Result{Trace: tr, BatchCap: batchCap}
+	res := &Result{Trace: tr, BatchCap: batchCap, Decode: decode}
+	if decode {
+		res.KVBudgetBytes = kvBudget
+	}
 	if cfg.KeepOutputs {
-		res.Outputs = make([][]float32, len(tr.Requests))
+		if decode {
+			res.Tokens = make([][]int32, len(tr.Requests))
+		} else {
+			res.Outputs = make([][]float32, len(tr.Requests))
+		}
 	}
 
 	var (
 		now     uint64 // serving clock; 0 = serving start
 		active  []*activeReq
 		nextArr int // cursor into tr.Requests
+		kvUsed  int // resident KV-cache bytes (decode traces)
 	)
 	for len(active) > 0 || nextArr < len(tr.Requests) {
 		// Idle fast-forward: an empty batch waits for the next arrival.
+		// (An empty batch holds no KV bytes, so the budget never blocks
+		// the head request here — one session always fits, checked above.)
 		if len(active) == 0 && tr.Requests[nextArr].Arrival > now {
 			now = tr.Requests[nextArr].Arrival
 		}
 		// Admission, on the coordinator, in arrival order, gated by the
-		// occupancy headroom cap — never out of order, so a request can
-		// only be overtaken by completions, not by later arrivals.
+		// occupancy headroom cap and — on decode traces — the KV-cache
+		// byte budget. Never out of order: a KV-blocked head request also
+		// blocks every later arrival, so a request can only be overtaken
+		// by completions, not by later arrivals.
 		for nextArr < len(tr.Requests) && len(active) < batchCap &&
-			tr.Requests[nextArr].Arrival <= now {
+			tr.Requests[nextArr].Arrival <= now &&
+			(!decode || kvUsed+kvBytes <= kvBudget) {
 			r := tr.Requests[nextArr]
 			nextArr++
-			active = append(active, &activeReq{
+			a := &activeReq{
 				req:       r,
 				stepsLeft: r.Steps,
 				stats: RequestStats{
 					ID: r.ID, SeqLen: r.SeqLen, Steps: r.Steps,
 					Arrival: r.Arrival, Admitted: now,
 				},
-			})
+			}
+			if decode {
+				// The session (KV caches + id buffer) is allocated at the
+				// chain boundary — allocator state here is baseline plus
+				// the resident sessions, so identical batch compositions
+				// see identical addresses. Its allocations persist until
+				// retirement.
+				s, err := dec.NewSession(tokensFor(r.ID, r.Prefill, model.Vocab))
+				if err != nil {
+					return nil, err
+				}
+				a.session = s
+				for _, addr := range s.Allocations() {
+					baseline[addr] = true
+				}
+				kvUsed += kvBytes
+				if kvUsed > res.PeakKVBytes {
+					res.PeakKVBytes = kvUsed
+				}
+			}
+			active = append(active, a)
 		}
 		if len(active) > res.PeakBatch {
 			res.PeakBatch = len(active)
@@ -315,14 +393,44 @@ func Run(cfg Config, tr Trace) (*Result, error) {
 
 		// One continuous-batching iteration: every resident request's
 		// kernel chain on its own stream, drained at the chain boundary.
-		batch := make([][]int32, len(active))
-		for i, a := range active {
-			batch[i] = tokensFor(a.req.ID, a.req.SeqLen, model.Vocab)
-		}
+		// Decode traces issue one step per request — the prompt prefill
+		// on its first iteration, a single-token decode step after.
 		iterStart := eng.Cycle()
-		outs, err := enc.ForwardBatch(batch, true)
-		if err != nil {
-			return nil, err
+		var outs [][]float32
+		if decode {
+			var streams []cudart.Stream
+			for _, a := range active {
+				st := dev.Ctx.StreamCreate()
+				streams = append(streams, st)
+				dev.H.SetStream(st)
+				var err error
+				if a.session.Len == 0 {
+					err = dec.PrefillStep(a.session)
+				} else {
+					err = dec.DecodeStep(a.session)
+				}
+				if err != nil {
+					dev.H.SetStream(cudart.DefaultStream)
+					return nil, err
+				}
+			}
+			dev.H.SetStream(cudart.DefaultStream)
+			if err := dev.Ctx.DeviceSynchronize(); err != nil {
+				return nil, err
+			}
+			for _, st := range streams {
+				dev.Ctx.StreamDestroy(st)
+			}
+		} else {
+			batch := make([][]int32, len(active))
+			for i, a := range active {
+				batch[i] = tokensFor(a.req.ID, a.req.SeqLen, model.Vocab)
+			}
+			var err error
+			outs, err = enc.ForwardBatch(batch, true)
+			if err != nil {
+				return nil, err
+			}
 		}
 		iterCycles := eng.Cycle() - iterStart
 		now += iterCycles
@@ -330,7 +438,9 @@ func Run(cfg Config, tr Trace) (*Result, error) {
 		res.Iterations++
 
 		// Retire finished requests (in batch order = admission order) and
-		// compact the batch; survivors keep their slots.
+		// compact the batch; survivors keep their slots. Retiring a decode
+		// request downloads its tokens (the boundary drain above makes
+		// that safe), frees its session and returns its KV bytes.
 		keep := active[:0]
 		for i, a := range active {
 			if !a.admitted {
@@ -344,7 +454,16 @@ func Run(cfg Config, tr Trace) (*Result, error) {
 			}
 			a.stats.Completed = now
 			res.Requests = append(res.Requests, a.stats)
-			if cfg.KeepOutputs {
+			if decode {
+				if cfg.KeepOutputs {
+					res.Tokens[a.req.ID] = a.session.Tokens()
+				}
+				for _, addr := range a.session.Allocations() {
+					delete(baseline, addr)
+				}
+				a.session.Free()
+				kvUsed -= kvBytes
+			} else if cfg.KeepOutputs {
 				res.Outputs[a.req.ID] = outs[i]
 			}
 		}
@@ -354,7 +473,8 @@ func Run(cfg Config, tr Trace) (*Result, error) {
 		active = keep
 
 		// Free the iteration's transient allocations (id uploads,
-		// activations); outputs are already on the host.
+		// activations); outputs are already on the host and resident
+		// sessions sit in the persist set.
 		for _, a := range dev.Ctx.Alloc.LiveAllocations() {
 			if !baseline[a] {
 				if err := dev.Ctx.Free(a); err != nil {

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 
+	"repro/internal/exec"
 	"repro/internal/torch"
 )
 
@@ -251,5 +253,141 @@ func TestLatencyOverTime(t *testing.T) {
 	}
 	if buckets[1].P50 != 590 {
 		t.Errorf("bucket 1 p50 = %v, want 590", buckets[1].P50)
+	}
+}
+
+// decodeTrace is the decode-mode determinism workhorse: queued Poisson
+// arrivals, each prefilling 3 prompt tokens and decoding 3 more.
+func decodeTrace() Trace {
+	return Poisson(31, 60, 8, 0, 0).WithDecode(3, 3)
+}
+
+// TestServeDecodeMatchesOracle serves a decode trace and checks every
+// request's generated tokens against the GenerateCPU oracle of an
+// identically seeded model — continuous batching, KV admission and
+// session reuse must never change what gets generated.
+func TestServeDecodeMatchesOracle(t *testing.T) {
+	cfg := testConfig()
+	cfg.KeepOutputs = true
+	res, err := Run(cfg, decodeTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, res)
+	if !res.Decode {
+		t.Fatal("decode trace did not select decode mode")
+	}
+	if res.PeakKVBytes == 0 || res.PeakKVBytes > res.KVBudgetBytes {
+		t.Fatalf("peak KV bytes %d outside (0, budget %d]", res.PeakKVBytes, res.KVBudgetBytes)
+	}
+	dev, err := torch.NewDevice(exec.BugSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := torch.NewTransformerDecoder(dev, rand.New(rand.NewSource(7)), testModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Trace.Requests {
+		want, err := oracle.GenerateCPU(tokensFor(r.ID, r.Prefill, testModel().Vocab), r.Decode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Tokens[r.ID], want) {
+			t.Errorf("request %d tokens %v, oracle %v", r.ID, res.Tokens[r.ID], want)
+		}
+	}
+}
+
+// TestServeDecodeWorkerDeterminism extends the -j1 vs -jN byte-identity
+// contract to decode serving with replay enabled: per-request stats,
+// generated tokens, kernel log and engine Stats (replay counters
+// included) must all match.
+func TestServeDecodeWorkerDeterminism(t *testing.T) {
+	tr := decodeTrace()
+	run := func(workers int) *Result {
+		t.Helper()
+		cfg := testConfig()
+		cfg.Workers = workers
+		cfg.Replay = true
+		cfg.KeepOutputs = true
+		res, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	j1 := run(1)
+	j4 := run(4)
+	checkInvariants(t, j1)
+	if !reflect.DeepEqual(j1.Requests, j4.Requests) {
+		t.Errorf("-j1 vs -j4 per-request stats differ:\n%+v\n%+v", j1.Requests, j4.Requests)
+	}
+	if j1.TotalCycles != j4.TotalCycles {
+		t.Errorf("-j1 total %d cycles, -j4 %d", j1.TotalCycles, j4.TotalCycles)
+	}
+	if !reflect.DeepEqual(j1.Tokens, j4.Tokens) {
+		t.Errorf("-j1 vs -j4 generated tokens differ:\n%v\n%v", j1.Tokens, j4.Tokens)
+	}
+	if !reflect.DeepEqual(j1.Log, j4.Log) {
+		t.Error("-j1 vs -j4 kernel logs differ")
+	}
+	if !reflect.DeepEqual(j1.Stats, j4.Stats) {
+		t.Errorf("-j1 vs -j4 engine stats differ (replay counters included):\n%+v\n%+v", j1.Stats, j4.Stats)
+	}
+}
+
+// TestServeDecodeKVBudgetQueues: a KV budget holding two sessions must
+// bound the batch at two resident requests — later arrivals queue in
+// order behind the budget, not the occupancy cap.
+func TestServeDecodeKVBudgetQueues(t *testing.T) {
+	model := testModel()
+	kv := torch.KVCacheBytes(model)
+	cfg := testConfig()
+	cfg.KVBudgetBytes = 2 * kv
+	tr := Trace{}
+	for i := 0; i < 6; i++ {
+		tr.Requests = append(tr.Requests, Request{
+			ID: i, Arrival: 0, SeqLen: 3, Steps: 2, Prefill: 3, Decode: 2,
+		})
+	}
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, res)
+	if res.PeakBatch != 2 {
+		t.Errorf("peak batch %d, want 2 (the KV budget)", res.PeakBatch)
+	}
+	if res.PeakKVBytes != 2*kv {
+		t.Errorf("peak KV bytes %d, want %d", res.PeakKVBytes, 2*kv)
+	}
+	var queued int
+	for _, q := range res.Requests {
+		if q.Admitted > q.Arrival {
+			queued++
+		}
+	}
+	if queued != 4 {
+		t.Errorf("queued %d requests, want 4 (all but the first two)", queued)
+	}
+}
+
+// TestServeDecodeRejects: decode requests that cannot fit the model's
+// cache or the KV budget are config errors, not truncations.
+func TestServeDecodeRejects(t *testing.T) {
+	over := Trace{Requests: []Request{
+		{ID: 0, Arrival: 0, SeqLen: 6, Steps: 4, Prefill: 6, Decode: 4},
+	}}
+	if _, err := Run(testConfig(), over); err == nil {
+		t.Fatal("prefill+decode past MaxSeq accepted")
+	}
+	cfg := testConfig()
+	cfg.KVBudgetBytes = torch.KVCacheBytes(testModel()) - 1
+	tr := Trace{Requests: []Request{
+		{ID: 0, Arrival: 0, SeqLen: 3, Steps: 2, Prefill: 3, Decode: 2},
+	}}
+	if _, err := Run(cfg, tr); err == nil {
+		t.Fatal("KV budget smaller than one session accepted")
 	}
 }

@@ -163,3 +163,98 @@ func TestOfferedLoad(t *testing.T) {
 		t.Fatalf("empty trace offered load = %v, want 0", got)
 	}
 }
+
+func TestTraceV2FormatParseRoundTrip(t *testing.T) {
+	want := Poisson(9, 150, 8, 6, 1).WithDecode(4, 3)
+	if err := want.validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := want.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.HasPrefix(text, "# gpgpusim-serve-trace v2\n") {
+		t.Fatalf("decode trace did not format as v2:\n%s", text)
+	}
+	got, err := ParseTrace(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("round trip failed to parse: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestParseTraceV2Rejects pins the v2 parser's strictness: malformed
+// prefill/decode counts and a late version header error, never panic.
+func TestParseTraceV2Rejects(t *testing.T) {
+	const h = "# gpgpusim-serve-trace v2\n"
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"zero_prefill", h + "100 0 2\n", "bad prefill"},
+		{"negative_prefill", h + "100 -3 2\n", "bad prefill"},
+		{"malformed_prefill", h + "100 six 2\n", "bad prefill"},
+		{"zero_decode", h + "100 6 0\n", "bad decode"},
+		{"malformed_decode", h + "100 6 x\n", "bad decode"},
+		{"truncated", h + "100 6\n", "truncated record"},
+		{"trailing_junk", h + "100 6 2 9\n", "4 fields"},
+		{"out_of_order", h + "200 6 2\n100 6 2\n", "time-ordered"},
+		{"header_after_records", "100 6 2\n" + h, "header must precede"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseTrace(strings.NewReader(c.in))
+			if err == nil {
+				t.Fatalf("parse of %q succeeded, want error containing %q", c.in, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseTraceV2Accepts: v2 records land in both the decode fields and
+// their SeqLen/Steps mirrors, and v1 traces still parse with zero decode
+// fields.
+func TestParseTraceV2Accepts(t *testing.T) {
+	in := "# gpgpusim-serve-trace v2\n# a comment\n0 6 1\n100 4 3\n"
+	got, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Request{
+		{ID: 0, Arrival: 0, SeqLen: 6, Steps: 1, Prefill: 6, Decode: 1},
+		{ID: 1, Arrival: 100, SeqLen: 4, Steps: 3, Prefill: 4, Decode: 3},
+	}
+	if !reflect.DeepEqual(got.Requests, want) {
+		t.Fatalf("parsed %+v, want %+v", got.Requests, want)
+	}
+	v1, err := ParseTrace(strings.NewReader("# gpgpusim-serve-trace v1\n0 6 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := v1.Requests[0]; r.Prefill != 0 || r.Decode != 0 {
+		t.Fatalf("v1 record grew decode fields: %+v", r)
+	}
+}
+
+// TestValidateRejectsMixedDecode: a trace mixing v1 and v2 requests has
+// no well-defined scheduler mode.
+func TestValidateRejectsMixedDecode(t *testing.T) {
+	tr := Trace{Requests: []Request{
+		{ID: 0, Arrival: 0, SeqLen: 4, Steps: 3, Prefill: 4, Decode: 3},
+		{ID: 1, Arrival: 10, SeqLen: 6, Steps: 1},
+	}}
+	if err := tr.validate(); err == nil {
+		t.Fatal("mixed v1/v2 trace accepted")
+	}
+	bad := Trace{Requests: []Request{
+		{ID: 0, Arrival: 0, SeqLen: 9, Steps: 3, Prefill: 4, Decode: 3},
+	}}
+	if err := bad.validate(); err == nil {
+		t.Fatal("inconsistent seq_len/prefill mirror accepted")
+	}
+}

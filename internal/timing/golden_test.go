@@ -183,6 +183,17 @@ func goldenServe(t *testing.T) goldenEntry {
 	return makeGoldenEntry(res.TotalCycles, res.Log, &res.Stats, true)
 }
 
+// goldenDecode pins the KV-cached autoregressive decode workload: two
+// 3-token prompts greedy-decoded for 4 tokens each on concurrent
+// streams at -j1, including per-kernel launch and instruction counts of
+// the cache-aware attention kernels (append, cached QK/AV, causal
+// softmax, logit GEMV, argmax).
+func goldenDecode(t *testing.T) goldenEntry {
+	t.Helper()
+	snap := runDecode(t, 1, 2, true, false, 1)
+	return makeGoldenEntry(snap.Cycles, snap.Log, &snap.Stats, true)
+}
+
 // TestGoldenStats locks in the cycle/IPC/L2 numbers of one GEMM, one
 // LeNet conv layer and the stream-overlapped transformer encoder under
 // the GTX 1050 model so silent timing drifts fail CI. Run with -update
@@ -194,6 +205,7 @@ func TestGoldenStats(t *testing.T) {
 		"transformer_encoder_streams":  goldenTransformer(t),
 		"concurrent_streams_asynccopy": goldenStreams(t),
 		"serve_small":                  goldenServe(t),
+		"decode_small":                 goldenDecode(t),
 	}
 	path := filepath.Join("testdata", "golden_stats.json")
 

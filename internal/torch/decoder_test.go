@@ -1,0 +1,174 @@
+package torch_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/torch"
+)
+
+// Decoder differential tests, functional mode: the KV-cached incremental
+// device decode against the full-reforward GenerateCPU oracle, plus the
+// session state-machine error contract.
+
+func newDecoder(t *testing.T, seed int64, cfg torch.TransformerConfig) (*torch.Device, *torch.TransformerDecoder) {
+	t.Helper()
+	dev := newDev(t)
+	dec, err := torch.NewTransformerDecoder(dev, rand.New(rand.NewSource(seed)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, dec
+}
+
+func TestDecodeGenerateMatchesCPU(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    torch.TransformerConfig
+		prompt []int32
+		n      int
+	}{
+		{"single_token_prompt", torch.TransformerConfig{Layers: 1, Heads: 2, DModel: 8, FF: 16, Vocab: 13, MaxSeq: 8}, []int32{5}, 4},
+		{"multi_token_prompt", torch.TransformerConfig{Layers: 2, Heads: 2, DModel: 16, FF: 32, Vocab: 29, MaxSeq: 8}, []int32{1, 7, 3}, 5},
+		{"dh_not_warp_multiple", torch.TransformerConfig{Layers: 1, Heads: 3, DModel: 21, FF: 12, Vocab: 17, MaxSeq: 6}, []int32{2, 11}, 3},
+		{"fill_cache_to_max", torch.TransformerConfig{Layers: 1, Heads: 2, DModel: 8, FF: 16, Vocab: 13, MaxSeq: 6}, []int32{4, 9}, 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, dec := newDecoder(t, 61, c.cfg)
+			got, err := dec.Generate(c.prompt, c.n)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			want, err := dec.GenerateCPU(c.prompt, c.n)
+			if err != nil {
+				t.Fatalf("GenerateCPU: %v", err)
+			}
+			if len(got) != c.n || len(want) != c.n {
+				t.Fatalf("got %d tokens, oracle %d, want %d", len(got), len(want), c.n)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("token %d: device %d, oracle %d (full: %v vs %v)",
+						i, got[i], want[i], got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeStepwiseMatchesGenerate drives the session API by hand
+// (NewSession + PrefillStep + DecodeStep) and checks it produces exactly
+// the tokens of the one-shot Generate convenience path.
+func TestDecodeStepwiseMatchesGenerate(t *testing.T) {
+	cfg := torch.TransformerConfig{Layers: 2, Heads: 2, DModel: 16, FF: 32, Vocab: 29, MaxSeq: 8}
+	_, dec := newDecoder(t, 62, cfg)
+	prompt := []int32{3, 14, 8}
+	const n = 4
+	want, err := dec.Generate(prompt, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dec.NewSession(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Free()
+	if err := dec.PrefillStep(s); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if err := dec.DecodeStep(s); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if err := dec.Dev.Ctx.DeviceSynchronize(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Tokens()
+	if len(got) != n {
+		t.Fatalf("session generated %d tokens, want %d", len(got), n)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: stepwise %d, generate %d", i, got[i], want[i])
+		}
+	}
+	if s.Len != len(prompt)+n-1 {
+		t.Fatalf("cache length %d, want %d", s.Len, len(prompt)+n-1)
+	}
+}
+
+// TestDecoderSharesEncoderWeights pins that the decoder built from a
+// seed has bit-identical parameters to the encoder built from the same
+// seed — serve can swap architectures without re-deriving model state.
+func TestDecoderSharesEncoderWeights(t *testing.T) {
+	cfg := torch.TransformerConfig{Layers: 1, Heads: 2, DModel: 8, FF: 16, Vocab: 13, MaxSeq: 6}
+	dev1 := newDev(t)
+	enc, err := torch.NewTransformerEncoder(dev1, rand.New(rand.NewSource(7)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dec := newDecoder(t, 7, cfg)
+	ep, dp := enc.Params(), dec.Params()
+	if len(ep) != len(dp) {
+		t.Fatalf("param count %d vs %d", len(ep), len(dp))
+	}
+	for i := range ep {
+		a, b := ep[i].W.ToHost(), dp[i].W.ToHost()
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("param %s drifts at %d", ep[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestDecodeSessionErrors(t *testing.T) {
+	cfg := torch.TransformerConfig{Layers: 1, Heads: 2, DModel: 8, FF: 16, Vocab: 13, MaxSeq: 4}
+	_, dec := newDecoder(t, 63, cfg)
+
+	if _, err := dec.NewSession(nil); err == nil {
+		t.Fatal("empty prompt accepted")
+	}
+	if _, err := dec.NewSession([]int32{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("prompt longer than MaxSeq accepted")
+	}
+	if _, err := dec.NewSession([]int32{13}); err == nil {
+		t.Fatal("out-of-vocabulary prompt accepted")
+	}
+	if _, err := dec.Generate([]int32{1}, 0); err == nil {
+		t.Fatal("generate count 0 accepted")
+	}
+	if _, err := dec.Generate([]int32{1, 2}, 4); err == nil {
+		t.Fatal("generation past MaxSeq accepted")
+	}
+	if _, err := dec.GenerateCPU([]int32{1, 2}, 4); err == nil {
+		t.Fatal("CPU generation past MaxSeq accepted")
+	}
+
+	s, err := dec.NewSession([]int32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Free()
+	if err := dec.DecodeStep(s); err == nil {
+		t.Fatal("decode step before prefill accepted")
+	}
+	if err := dec.PrefillStep(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.PrefillStep(s); err == nil {
+		t.Fatal("second prefill accepted")
+	}
+	// cache: 2 prompt positions, MaxSeq 4 -> two more steps fill it
+	if err := dec.DecodeStep(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.DecodeStep(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.DecodeStep(s); err == nil {
+		t.Fatal("decode step past full cache accepted")
+	}
+}

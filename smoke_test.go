@@ -150,6 +150,19 @@ func TestMainPackagesSmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("gpgpusim_workload_decode", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "gpgpusim"),
+			"-workload", "decode", "-streams", "2", "-prompt", "3", "-gen", "3", "-j", "2")
+		for _, want := range []string{
+			"decode workload", "tokens/sec", "overlap speedup",
+			"replay coverage", "hybrid throughput", "per-kernel replay coverage",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in decode workload output:\n%s", want, out)
+			}
+		}
+	})
+
 	t.Run("gpgpusim_workload_serve", func(t *testing.T) {
 		// a pinned 16-request trace: arrivals every 40k cycles, 12 tokens,
 		// 2 chain iterations each — the percentile summary must appear
@@ -249,7 +262,7 @@ func TestMainPackagesSmoke(t *testing.T) {
 
 	t.Run("aerialvision", func(t *testing.T) {
 		dir := filepath.Join(t.TempDir(), "aerial")
-		out := runBinary(t, filepath.Join(bin, "aerialvision"), "-o", dir, "-replay", "-serve")
+		out := runBinary(t, filepath.Join(bin, "aerialvision"), "-o", dir, "-replay", "-decode", "-serve")
 		if !strings.Contains(out, "wrote") {
 			t.Fatalf("aerialvision reported no files:\n%s", out)
 		}
@@ -266,6 +279,13 @@ func TestMainPackagesSmoke(t *testing.T) {
 		}
 		if !strings.HasPrefix(string(replayCSV), "kernel,launches,replayed,") {
 			t.Fatalf("kernel_replay.csv header unexpected:\n%s", replayCSV[:min(len(replayCSV), 200)])
+		}
+		decodeCSV, err := os.ReadFile(filepath.Join(dir, "decode_throughput.csv"))
+		if err != nil {
+			t.Fatalf("aerialvision -decode did not write the decode throughput CSV: %v", err)
+		}
+		if !strings.HasPrefix(string(decodeCSV), "mode,iters,tokens,total_cycles,") {
+			t.Fatalf("decode_throughput.csv header unexpected:\n%s", decodeCSV[:min(len(decodeCSV), 200)])
 		}
 		serveCSV, err := os.ReadFile(filepath.Join(dir, "serve_latency.csv"))
 		if err != nil {
