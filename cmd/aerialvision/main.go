@@ -103,6 +103,37 @@ func writeDecodeThroughput(path string) {
 	fmt.Printf("wrote %s (hybrid coverage %.1f%%)\n", f.Name(), 100*rows[1].Coverage)
 }
 
+// writeTrainLoss runs the transformer training-step workload in hybrid
+// replay mode and writes the loss curve (device vs CPU mirror, with
+// per-step replay attribution) as train_loss.csv.
+func writeTrainLoss(path string, steps int) {
+	res, err := core.RunTrainSample(1, steps, 8, 0, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aerialvision:", err)
+		os.Exit(1)
+	}
+	rows := make([]aerial.TrainLossRow, len(res.Losses))
+	for i := range res.Losses {
+		rows[i] = aerial.TrainLossRow{
+			Step:     i,
+			Loss:     float64(res.Losses[i]),
+			CPULoss:  float64(res.CPULosses[i]),
+			Replayed: res.StepReplayHits[i] > 0,
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := aerial.TrainLossCSV(f, rows); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d steps, max |device-cpu| loss diff %.2g)\n", f.Name(), res.Steps, res.MaxLossDiff)
+}
+
 // writeServeLatency runs a seeded open-loop serving scenario under
 // continuous batching and writes the latency-percentiles-over-time
 // windows as serve_latency.csv.
@@ -144,6 +175,8 @@ func main() {
 	serveFlag := flag.Bool("serve", false, "additionally run a seeded open-loop serving scenario and write serve_latency.csv (latency percentiles over serving time)")
 	serveRate := flag.Float64("serve-rate", 40, "with -serve: offered Poisson arrival rate in requests per million cycles")
 	serveReqs := flag.Int("serve-requests", 16, "with -serve: requests in the generated stream")
+	trainFlag := flag.Bool("train", false, "additionally run the transformer training-step workload in hybrid replay mode and write train_loss.csv (device vs CPU-mirror loss curve)")
+	trainSteps := flag.Int("train-steps", 4, "with -train: training steps to run")
 	flag.Parse()
 
 	res, err := core.RunConvSample(core.GTX1080Ti, core.ConvDirection(*dir), *algo, core.DefaultConvShape())
@@ -199,5 +232,8 @@ func main() {
 	}
 	if *serveFlag {
 		writeServeLatency(filepath.Join(*out, "serve_latency.csv"), *serveRate, *serveReqs)
+	}
+	if *trainFlag {
+		writeTrainLoss(filepath.Join(*out, "train_loss.csv"), *trainSteps)
 	}
 }

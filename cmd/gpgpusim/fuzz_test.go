@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzValidateFlagCombos drives the flag-combination validator with
+// arbitrary workload names and explicitly-set flag sets: it must never
+// panic, must be deterministic, and every rejection must carry a usage
+// hint naming the offending flag.
+func FuzzValidateFlagCombos(f *testing.F) {
+	// the supported -workload train invocations and every rejected combo
+	// from the CLI smoke test
+	f.Add("train", "steps", false)
+	f.Add("train", "steps,replay", false)
+	f.Add("train", "steps,j,replay-resample", false)
+	f.Add("decode", "steps", false)
+	f.Add("", "steps", false)
+	f.Add("decode", "decode", false)
+	f.Add("serve", "decode,prompt,gen", true)
+	f.Add("transformer", "prompt", false)
+	f.Add("transformer", "gen", false)
+	f.Add("serve", "rate,trace", false)
+	f.Add("membound", "", false)
+	f.Fuzz(func(t *testing.T, workload, flagsCSV string, serveDecode bool) {
+		set := map[string]bool{}
+		for _, name := range strings.Split(flagsCSV, ",") {
+			if name != "" {
+				set[name] = true
+			}
+		}
+		err := validateFlagCombos(workload, serveDecode, set)
+		again := validateFlagCombos(workload, serveDecode, set)
+		if (err == nil) != (again == nil) {
+			t.Fatalf("validator not deterministic: %v vs %v", err, again)
+		}
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("rejection with empty message")
+			}
+			if !strings.Contains(err.Error(), "usage:") && !strings.Contains(err.Error(), "drop one") {
+				t.Fatalf("rejection without usage hint: %v", err)
+			}
+		}
+		// a validator must never reject the empty flag set: bare
+		// `-workload X` runs with defaults
+		if len(set) == 0 && err != nil {
+			t.Fatalf("empty flag set rejected: %v", err)
+		}
+	})
+}

@@ -37,13 +37,25 @@ func main() {
 	prompt := flag.Int("prompt", 4, "with -workload decode (or serve -decode): prompt tokens each sequence prefills")
 	gen := flag.Int("gen", 8, "with -workload decode (or serve -decode): tokens each sequence greedy-decodes")
 	serveDecode := flag.Bool("decode", false, "with -workload serve: generate a decode trace (-prompt prefill, -gen decode tokens per request) instead of encoder requests; KV-cache bytes gate admission")
+	steps := flag.Int("steps", 4, "with -workload train: training steps to run")
 	flag.Parse()
+
+	// Most workload flags have non-zero defaults, so a value comparison
+	// cannot tell "left at default" from "explicitly set": collect the
+	// flags the user actually passed and reject combinations that would
+	// otherwise be silently ignored.
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if err := validateFlagCombos(*workload, *serveDecode, setFlags); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *workload != "" {
 		opts := workloadOpts{
 			workers: *workers, streams: *streams, replay: *replay, resampleEvery: *resample,
 			rate: *rate, traceFile: *traceFile, requests: *requests, serveSeed: *serveSeed,
-			prompt: *prompt, gen: *gen, serveDecode: *serveDecode,
+			prompt: *prompt, gen: *gen, serveDecode: *serveDecode, steps: *steps,
 		}
 		if err := runWorkloadFlag(*workload, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -154,6 +166,27 @@ type workloadOpts struct {
 	serveSeed        int64
 	prompt, gen      int
 	serveDecode      bool
+	steps            int
+}
+
+// validateFlagCombos rejects flag combinations a workload would silently
+// ignore: each error names the offending flag and the run that would
+// actually honour it, and the CLI exits 2 (usage) instead of producing
+// misleading output.
+func validateFlagCombos(workload string, serveDecode bool, set map[string]bool) error {
+	if set["decode"] && workload != "serve" {
+		return fmt.Errorf("-decode only applies to -workload serve (usage: `gpgpusim -workload serve -decode`; for the standalone decode batch use `-workload decode`)")
+	}
+	if (set["prompt"] || set["gen"]) && workload != "decode" && !(workload == "serve" && serveDecode) {
+		return fmt.Errorf("-prompt/-gen only apply to -workload decode or -workload serve -decode; they would be silently ignored here (usage: `gpgpusim -workload decode -prompt 4 -gen 8`)")
+	}
+	if set["rate"] && set["trace"] {
+		return fmt.Errorf("-rate and -trace are mutually exclusive: -trace replays a pinned arrival trace, so the Poisson -rate would be silently ignored (drop one of them)")
+	}
+	if set["steps"] && workload != "train" {
+		return fmt.Errorf("-steps only applies to -workload train; it would be silently ignored here (usage: `gpgpusim -workload train -steps 4`)")
+	}
+	return nil
 }
 
 // workloads is the single registry of -workload built-ins: the flag's
@@ -183,6 +216,11 @@ var workloads = []struct {
 		name: "decode",
 		desc: "runs the KV-cached greedy-decode batch (-streams sequences, -prompt prefill + -gen generated tokens) in the detailed model, then repeats it in hybrid replay mode and reports tokens/sec and replay coverage",
 		run:  runDecodeWorkload,
+	},
+	{
+		name: "train",
+		desc: "runs -steps transformer training steps (forward, loss, backward, SGD) in the detailed model, each step's loss checked against the CPU mirror; -replay retires steady-state steps from the replay cache",
+		run:  runTrainWorkload,
 	},
 	{
 		name: "membound",

@@ -255,6 +255,50 @@ func ServeLatencyCSV(w io.Writer, rows []ServeLatencyRow) error {
 	return err
 }
 
+// TrainLossRow is one training step of a transformer training run for
+// TrainLossSummary and TrainLossCSV: the device loss next to the CPU
+// mirror's, so a plotted curve shows both trajectories and their gap.
+type TrainLossRow struct {
+	Step     int
+	Loss     float64
+	CPULoss  float64
+	Replayed bool // step retired (at least partly) from the replay cache
+}
+
+// TrainLossSummary renders the loss curve of a training run — the
+// aerial view of the training-step workload: device loss, host-mirror
+// loss and whether the step replayed from the cache.
+func TrainLossSummary(w io.Writer, title string, rows []TrainLossRow) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%6s %12s %12s %10s %8s\n", "step", "loss", "cpu_loss", "|diff|", "replayed")
+	for _, r := range rows {
+		d := r.Loss - r.CPULoss
+		if d < 0 {
+			d = -d
+		}
+		rep := ""
+		if r.Replayed {
+			rep = "yes"
+		}
+		fmt.Fprintf(w, "%6d %12.5f %12.5f %10.2g %8s\n", r.Step, r.Loss, r.CPULoss, d, rep)
+	}
+}
+
+// TrainLossCSV writes the training loss curve as train_loss.csv.
+func TrainLossCSV(w io.Writer, rows []TrainLossRow) error {
+	var b strings.Builder
+	b.WriteString("step,loss,cpu_loss,replayed\n")
+	for _, r := range rows {
+		rep := 0
+		if r.Replayed {
+			rep = 1
+		}
+		fmt.Fprintf(&b, "%d,%.6g,%.6g,%d\n", r.Step, r.Loss, r.CPULoss, rep)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
 // CSV writes rows as CSV with a header of bucket indices.
 func CSV(w io.Writer, rowNames []string, rows [][]float64) error {
 	width := 0

@@ -72,7 +72,7 @@ func (h *Handle) bwdDataAsForward(algo ConvBwdDataAlgo, w uint64, fd FilterDesc,
 	if err != nil {
 		return err
 	}
-	if got.H != xd.H || got.W != xd.W || got.C != xd.C {
+	if got.N != xd.N || got.H != xd.H || got.W != xd.W || got.C != xd.C {
 		return fmt.Errorf("cudnn: backward-data shape mismatch: got %+v want %+v", got, xd)
 	}
 	return nil

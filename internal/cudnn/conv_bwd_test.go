@@ -1,0 +1,164 @@
+package cudnn_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cudnn"
+	"repro/internal/ref"
+)
+
+// TestBwdDataShapeMismatchN is the regression test for the as-forward
+// backward-data validator: recovering dx from a dy whose batch dimension
+// disagrees with the requested dx descriptor must fail, not silently
+// scribble a differently-sized tensor. H/W/C all still line up here
+// (stride 1, pad 1, 3x3 keeps spatial dims), so only the N check can
+// catch it.
+func TestBwdDataShapeMismatchN(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	xs := ref.TensorShape4{N: 1, C: 2, H: 8, W: 8}
+	k, r := 3, 3
+	p := ref.ConvParams{Stride: 1, Pad: 1}
+	// dy deliberately carries one extra image
+	ys := ref.TensorShape4{N: xs.N + 1, C: k, H: xs.H, W: xs.W}
+	for _, algo := range []cudnn.ConvBwdDataAlgo{cudnn.BwdDataFFTTiling, cudnn.BwdDataWinograd, cudnn.BwdDataWinogradNonfused} {
+		t.Run(algo.String(), func(t *testing.T) {
+			ctx, h := newHandle(t)
+			pdy := upload(t, ctx, randSlice(rng, ys.Count()))
+			pw := upload(t, ctx, randSlice(rng, k*xs.C*r*r))
+			// size dx for the oversized recovery so the failure is the
+			// validator, not an OOB store
+			pdx := alloc(t, ctx, ys.N*xs.C*xs.H*xs.W)
+			err := h.ConvolutionBackwardData(algo, pw,
+				cudnn.FilterDesc{K: k, C: xs.C, R: r, S: r},
+				pdy, cudnn.TensorDesc{N: ys.N, C: ys.C, H: ys.H, W: ys.W},
+				cudnn.ConvDesc{Pad: p.Pad, Stride: p.Stride},
+				pdx, cudnn.TensorDesc{N: xs.N, C: xs.C, H: xs.H, W: xs.W})
+			if err == nil {
+				t.Fatalf("%s: batch mismatch accepted (dy N=%d, dx N=%d)", algo, ys.N, xs.N)
+			}
+			if !strings.Contains(err.Error(), "shape mismatch") {
+				t.Fatalf("%s: error %q, want a shape-mismatch report", algo, err)
+			}
+		})
+	}
+}
+
+// TestConvBackwardDataStridePadSweep drives every backward-data
+// algorithm across stride/pad edge cases: the direct kernels must match
+// the reference at stride 2 and asymmetric pads, and the as-forward
+// paths must reject strided configs with ErrNotSupported instead of
+// computing garbage.
+func TestConvBackwardDataStridePadSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	cases := []struct {
+		name    string
+		algo    cudnn.ConvBwdDataAlgo
+		xs      ref.TensorShape4
+		k, r    int
+		p       ref.ConvParams
+		tol     float64
+		wantErr bool
+	}{
+		{"algo0_stride2_pad0", cudnn.BwdDataAlgo0, ref.TensorShape4{N: 2, C: 2, H: 9, W: 9}, 3, 3, ref.ConvParams{Stride: 2, Pad: 0}, 1e-4, false},
+		{"algo0_stride2_pad1", cudnn.BwdDataAlgo0, ref.TensorShape4{N: 1, C: 3, H: 10, W: 8}, 2, 3, ref.ConvParams{Stride: 2, Pad: 1}, 1e-4, false},
+		{"algo0_stride1_pad2_5x5", cudnn.BwdDataAlgo0, ref.TensorShape4{N: 1, C: 2, H: 11, W: 11}, 3, 5, ref.ConvParams{Stride: 1, Pad: 2}, 1e-4, false},
+		{"algo1_stride2_pad1", cudnn.BwdDataAlgo1, ref.TensorShape4{N: 2, C: 2, H: 9, W: 11}, 3, 3, ref.ConvParams{Stride: 2, Pad: 1}, 1e-3, false},
+		{"algo1_stride1_pad0", cudnn.BwdDataAlgo1, ref.TensorShape4{N: 1, C: 2, H: 8, W: 8}, 2, 3, ref.ConvParams{Stride: 1, Pad: 0}, 1e-3, false},
+		{"ffttiling_stride1_pad0", cudnn.BwdDataFFTTiling, ref.TensorShape4{N: 1, C: 2, H: 10, W: 10}, 3, 3, ref.ConvParams{Stride: 1, Pad: 0}, 5e-3, false},
+		{"ffttiling_stride2_rejected", cudnn.BwdDataFFTTiling, ref.TensorShape4{N: 1, C: 2, H: 9, W: 9}, 3, 3, ref.ConvParams{Stride: 2, Pad: 1}, 0, true},
+		{"winograd_stride2_rejected", cudnn.BwdDataWinograd, ref.TensorShape4{N: 1, C: 2, H: 9, W: 9}, 3, 3, ref.ConvParams{Stride: 2, Pad: 1}, 0, true},
+		{"winograd_nonfused_stride2_rejected", cudnn.BwdDataWinogradNonfused, ref.TensorShape4{N: 1, C: 2, H: 9, W: 9}, 3, 3, ref.ConvParams{Stride: 2, Pad: 1}, 0, true},
+		{"winograd_5x5_rejected", cudnn.BwdDataWinograd, ref.TensorShape4{N: 1, C: 2, H: 12, W: 12}, 3, 5, ref.ConvParams{Stride: 1, Pad: 2}, 0, true},
+		{"unknown_algo_rejected", cudnn.ConvBwdDataAlgo(99), ref.TensorShape4{N: 1, C: 1, H: 8, W: 8}, 1, 3, ref.ConvParams{Stride: 1, Pad: 1}, 0, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ctx, h := newHandle(t)
+			oh, ow := c.p.ConvOut(c.xs.H, c.r), c.p.ConvOut(c.xs.W, c.r)
+			ys := ref.TensorShape4{N: c.xs.N, C: c.k, H: oh, W: ow}
+			dy := randSlice(rng, ys.Count())
+			w := randSlice(rng, c.k*c.xs.C*c.r*c.r)
+			pdy, pw := upload(t, ctx, dy), upload(t, ctx, w)
+			pdx := alloc(t, ctx, c.xs.Count())
+			err := h.ConvolutionBackwardData(c.algo, pw,
+				cudnn.FilterDesc{K: c.k, C: c.xs.C, R: c.r, S: c.r},
+				pdy, cudnn.TensorDesc{N: ys.N, C: ys.C, H: ys.H, W: ys.W},
+				cudnn.ConvDesc{Pad: c.p.Pad, Stride: c.p.Stride},
+				pdx, cudnn.TensorDesc{N: c.xs.N, C: c.xs.C, H: c.xs.H, W: c.xs.W})
+			if c.wantErr {
+				if _, ok := err.(cudnn.ErrNotSupported); !ok {
+					t.Fatalf("err = %v, want ErrNotSupported", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("backward data: %v", err)
+			}
+			want := ref.Conv2DBackwardData(dy, ys, w, c.xs.C, c.r, c.xs, c.p)
+			got := ctx.MemcpyF32DtoH(pdx, c.xs.Count())
+			if d := maxAbsDiff(got, want); d > c.tol {
+				t.Fatalf("max diff %g (tol %g)", d, c.tol)
+			}
+		})
+	}
+}
+
+// TestConvBackwardFilterStridePadSweep is the filter-gradient twin:
+// direct algorithms at stride 2 and wide pads vs the reference, plus
+// every documented ErrNotSupported rejection (FFT at stride 2, tiles
+// smaller than the filter, Winograd away from 3x3/stride-1).
+func TestConvBackwardFilterStridePadSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	cases := []struct {
+		name    string
+		algo    cudnn.ConvBwdFilterAlgo
+		xs      ref.TensorShape4
+		k, r    int
+		p       ref.ConvParams
+		tol     float64
+		wantErr bool
+	}{
+		{"algo0_stride2_pad1", cudnn.BwdFilterAlgo0, ref.TensorShape4{N: 2, C: 2, H: 9, W: 9}, 3, 3, ref.ConvParams{Stride: 2, Pad: 1}, 1e-3, false},
+		{"algo0_stride1_pad2_5x5", cudnn.BwdFilterAlgo0, ref.TensorShape4{N: 1, C: 2, H: 11, W: 11}, 2, 5, ref.ConvParams{Stride: 1, Pad: 2}, 1e-3, false},
+		{"algo1_stride2_pad0", cudnn.BwdFilterAlgo1, ref.TensorShape4{N: 2, C: 2, H: 9, W: 9}, 3, 3, ref.ConvParams{Stride: 2, Pad: 0}, 1e-3, false},
+		{"algo3_stride2_pad1", cudnn.BwdFilterAlgo3, ref.TensorShape4{N: 1, C: 3, H: 10, W: 8}, 2, 3, ref.ConvParams{Stride: 2, Pad: 1}, 1e-3, false},
+		{"fft_stride2_rejected", cudnn.BwdFilterFFT, ref.TensorShape4{N: 1, C: 2, H: 9, W: 9}, 3, 3, ref.ConvParams{Stride: 2, Pad: 1}, 0, true},
+		{"ffttiling_stride2_rejected", cudnn.BwdFilterFFTTiling, ref.TensorShape4{N: 1, C: 2, H: 9, W: 9}, 3, 3, ref.ConvParams{Stride: 2, Pad: 1}, 0, true},
+		{"ffttiling_filter_too_large", cudnn.BwdFilterFFTTiling, ref.TensorShape4{N: 1, C: 1, H: 40, W: 40}, 1, 33, ref.ConvParams{Stride: 1, Pad: 0}, 0, true},
+		{"winograd_nonfused_5x5_rejected", cudnn.BwdFilterWinogradNonfused, ref.TensorShape4{N: 1, C: 2, H: 12, W: 12}, 3, 5, ref.ConvParams{Stride: 1, Pad: 2}, 0, true},
+		{"winograd_nonfused_stride2_rejected", cudnn.BwdFilterWinogradNonfused, ref.TensorShape4{N: 1, C: 2, H: 9, W: 9}, 3, 3, ref.ConvParams{Stride: 2, Pad: 1}, 0, true},
+		{"unknown_algo_rejected", cudnn.ConvBwdFilterAlgo(99), ref.TensorShape4{N: 1, C: 1, H: 8, W: 8}, 1, 3, ref.ConvParams{Stride: 1, Pad: 1}, 0, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ctx, h := newHandle(t)
+			oh, ow := c.p.ConvOut(c.xs.H, c.r), c.p.ConvOut(c.xs.W, c.r)
+			ys := ref.TensorShape4{N: c.xs.N, C: c.k, H: oh, W: ow}
+			x := randSlice(rng, c.xs.Count())
+			dy := randSlice(rng, ys.Count())
+			px, pdy := upload(t, ctx, x), upload(t, ctx, dy)
+			pdw := alloc(t, ctx, c.k*c.xs.C*c.r*c.r)
+			err := h.ConvolutionBackwardFilter(c.algo, px,
+				cudnn.TensorDesc{N: c.xs.N, C: c.xs.C, H: c.xs.H, W: c.xs.W},
+				pdy, cudnn.TensorDesc{N: ys.N, C: ys.C, H: ys.H, W: ys.W},
+				cudnn.ConvDesc{Pad: c.p.Pad, Stride: c.p.Stride},
+				pdw, cudnn.FilterDesc{K: c.k, C: c.xs.C, R: c.r, S: c.r})
+			if c.wantErr {
+				if _, ok := err.(cudnn.ErrNotSupported); !ok {
+					t.Fatalf("err = %v, want ErrNotSupported", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("backward filter: %v", err)
+			}
+			want := ref.Conv2DBackwardFilter(x, c.xs, dy, ys, c.r, c.p)
+			got := ctx.MemcpyF32DtoH(pdw, c.k*c.xs.C*c.r*c.r)
+			if d := maxAbsDiff(got, want); d > c.tol {
+				t.Fatalf("max diff %g (tol %g)", d, c.tol)
+			}
+		})
+	}
+}

@@ -1,0 +1,86 @@
+package cudnn
+
+// Transformer training primitives. Each entry point launches one train-
+// module kernel; the gradient entry points follow cuDNN's backward
+// naming. The layernorm and embedding backward kernels accumulate
+// parameter gradients with global atomics, so their gradient buffers
+// must be zeroed (or hold the running accumulation) before the call.
+
+import (
+	"repro/internal/cudart"
+	"repro/internal/exec"
+)
+
+// GemmTNStridedBatched computes C[b] = alpha*A[b]ᵀ*B[b] + beta*C[b] for
+// row-major A[k,m], B[k,n], C[m,n] slices — the weight-gradient GEMM
+// (dW = xᵀ·dy with batch 1, per-head dK/dV with batch = heads).
+func (h *Handle) GemmTNStridedBatched(a, bm, cm uint64, m, n, k, strideA, strideB, strideC, batch int, alpha, beta float32) error {
+	h.ctx.SetAPITag("cublasSgemmStridedBatched")
+	p := cudart.NewParams().Ptr(a).Ptr(bm).Ptr(cm).
+		U32(uint32(m)).U32(uint32(n)).U32(uint32(k)).
+		U32(uint32(strideA)).U32(uint32(strideB)).U32(uint32(strideC)).
+		F32(alpha).F32(beta)
+	g := exec.Dim3{X: (n + 15) / 16, Y: (m + 15) / 16, Z: batch}
+	return h.launch("sgemm_tn_batched", g, exec.Dim3{X: 16, Y: 16}, p)
+}
+
+// LayerNormBackward computes dx for x[rows, cols] and accumulates the
+// affine-parameter gradients: dgamma[j] += Σ_r dy·x̂, dbeta[j] += Σ_r dy
+// (global atomics — zero the buffers first unless accumulating).
+func (h *Handle) LayerNormBackward(x, gamma, dy, dx, dgamma, dbeta uint64, rows, cols int, eps float32) error {
+	h.ctx.SetAPITag("cudnnLayerNormBackward")
+	if rows == 0 || cols == 0 {
+		return nil
+	}
+	p := cudart.NewParams().Ptr(x).Ptr(gamma).Ptr(dy).Ptr(dx).Ptr(dgamma).Ptr(dbeta).
+		U32(uint32(cols)).F32(eps)
+	return h.launch("layernorm_backward", exec.Dim3{X: rows}, exec.Dim3{X: 32}, p)
+}
+
+// GeluBackward computes dx = dy·GELU'(x) over n elements.
+func (h *Handle) GeluBackward(x, dy, dx uint64, n int) error {
+	h.ctx.SetAPITag("cudnnActivationBackward")
+	return h.launch1D("gelu_backward", n, 256,
+		cudart.NewParams().Ptr(x).Ptr(dy).Ptr(dx).U32(uint32(n)))
+}
+
+// SoftmaxBackward computes dx[r,j] = p[r,j]·(dp[r,j] - Σ_k dp[r,k]·p[r,k])
+// from the forward softmax output p[rows, cols].
+func (h *Handle) SoftmaxBackward(probs, dprobs, dx uint64, rows, cols int) error {
+	h.ctx.SetAPITag("cudnnSoftmaxBackward")
+	if rows == 0 || cols == 0 {
+		return nil
+	}
+	p := cudart.NewParams().Ptr(probs).Ptr(dprobs).Ptr(dx).U32(uint32(cols))
+	return h.launch("softmax_backward", exec.Dim3{X: rows}, exec.Dim3{X: 32}, p)
+}
+
+// SoftmaxXentBackward fuses the loss head on raw logits[rows, cols]:
+// dx = (softmax(logits) - onehot(labels))/rows and per-row loss
+// -log softmax[label] into loss[rows].
+func (h *Handle) SoftmaxXentBackward(logits, labels, dx, loss uint64, rows, cols int) error {
+	h.ctx.SetAPITag("cudnnSoftmaxXentBackward")
+	if rows == 0 || cols == 0 {
+		return nil
+	}
+	p := cudart.NewParams().Ptr(logits).Ptr(labels).Ptr(dx).Ptr(loss).
+		U32(uint32(cols)).U32(uint32(rows))
+	return h.launch("softmax_xent_backward", exec.Dim3{X: rows}, exec.Dim3{X: 32}, p)
+}
+
+// AccumulateAdd computes y[i] += x[i] over n elements — gradient
+// accumulation across residual branches and the positional table.
+func (h *Handle) AccumulateAdd(x, y uint64, n int) error {
+	h.ctx.SetAPITag("cublasSaxpy")
+	return h.launch1D("accumulate_add", n, 256,
+		cudart.NewParams().Ptr(x).Ptr(y).U32(uint32(n)))
+}
+
+// EmbeddingBackward scatter-adds dy[rows, cols] into dtable by token id
+// with global atomics: dtable[ids[i], j] += dy[i, j].
+func (h *Handle) EmbeddingBackward(dy, ids, dtable uint64, rows, cols int) error {
+	h.ctx.SetAPITag("embeddingBackward")
+	n := rows * cols
+	return h.launch1D("embedding_backward", n, 256,
+		cudart.NewParams().Ptr(dy).Ptr(ids).Ptr(dtable).U32(uint32(rows)).U32(uint32(cols)))
+}

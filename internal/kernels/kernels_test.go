@@ -67,8 +67,8 @@ func grid1D(n, block int) exec.Dim3 {
 
 func TestAllModulesParse(t *testing.T) {
 	ctx := newCtx(t)
-	if len(ctx.Modules()) != 9 {
-		t.Fatalf("expected 9 modules, got %d", len(ctx.Modules()))
+	if len(ctx.Modules()) != 10 {
+		t.Fatalf("expected 10 modules, got %d", len(ctx.Modules()))
 	}
 	// fill_zero exists in two modules (duplicate symbol across PTX files);
 	// lookup must succeed and return the first registration.

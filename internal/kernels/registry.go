@@ -81,11 +81,23 @@ func ModuleDecode() string {
 	)
 }
 
+// ModuleTrain contains the transformer training kernels: the TN
+// strided-batched GEMM (weight gradients, attention dK/dV), the
+// layernorm/GELU/softmax backward passes, the fused softmax +
+// cross-entropy loss gradient, and the atomics-based embedding
+// scatter-add.
+func ModuleTrain() string {
+	return Module(nil,
+		SgemmTNBatched(), LayerNormBackward(), GeluBackward(),
+		SoftmaxBackward(), SoftmaxXentBackward(), EmbeddingBackward(),
+	)
+}
+
 // AllModules returns every library module, in registration order.
 func AllModules() []string {
 	return []string{
 		ModuleElementwise(), ModuleGemm(), ModuleConvDirect(),
 		ModuleFFT(), ModuleWinograd(), ModulePoolSoftmax(), ModuleLRN(),
-		ModuleTransformer(), ModuleDecode(),
+		ModuleTransformer(), ModuleDecode(), ModuleTrain(),
 	}
 }

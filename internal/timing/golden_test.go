@@ -206,6 +206,7 @@ func TestGoldenStats(t *testing.T) {
 		"concurrent_streams_asynccopy": goldenStreams(t),
 		"serve_small":                  goldenServe(t),
 		"decode_small":                 goldenDecode(t),
+		"train_small":                  goldenTrain(t),
 	}
 	path := filepath.Join("testdata", "golden_stats.json")
 

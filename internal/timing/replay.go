@@ -18,7 +18,12 @@ import (
 //
 // Replay memoizes *timing*, not semantics: a replayed launch still
 // executes functionally (on the coordinator, at its modelled completion
-// cycle), so final device memory is byte-identical to a detailed run.
+// cycle), so final device memory is byte-identical to a detailed run —
+// up to float-atomics rounding: a replayed launch interprets
+// atom.global.add.f32 in functional order while the detailed model
+// drains atomics in modelled order, so kernels that accumulate floats
+// through atomics (the training backward pass) can differ by sub-ulp
+// rounding per accumulation.
 // The approximation is that a launch's duration is taken to be
 // data-independent and load-independent; ReplayResampleEvery re-runs
 // every Nth hit in detail to measure that drift (Stats.ReplayDriftCycles)

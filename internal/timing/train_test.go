@@ -1,0 +1,173 @@
+package timing_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cudart"
+	"repro/internal/exec"
+	"repro/internal/timing"
+	"repro/internal/torch"
+)
+
+// The transformer training step is the atomics-heavy stress workload:
+// per step it chains the forward pass, the tied-embedding LM head, the
+// fused softmax+cross-entropy, the full backward sweep (layernorm /
+// GELU / attention backward, scatter-add embedding gradients) and the
+// SGD update, with dgamma/dbeta and embedding gradients accumulated
+// through global atomics that drain deterministically on the
+// coordinator.
+
+type trainSnapshot struct {
+	Cycles  uint64
+	Log     []cudart.KernelStats
+	Losses  []float32
+	CPU     []float32
+	Weights [][]float32
+	Stats   timing.Stats
+}
+
+// runTrain executes `steps` training steps of a 6-token sequence on the
+// small test encoder and snapshots cycles, the kernel log, the replay
+// counters, the loss trajectories and the final weights. Per-step
+// activations are freed between steps (after priming the allocator with
+// a reserve-and-release arena so step 0 sees the steady-state free-list
+// shape) — with replay enabled, steps 2..n retire from the cache.
+func runTrain(t testing.TB, workers, steps int, replay bool) trainSnapshot {
+	t.Helper()
+	dev, err := torch.NewDevice(exec.BugSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := timing.GTX1050()
+	tcfg.ReplayEnabled = replay
+	eng, err := timing.New(tcfg, timing.WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	dev.Ctx.SetRunner(timing.Runner{E: eng})
+
+	enc, err := torch.NewTransformerEncoder(dev, rand.New(rand.NewSource(7)), testTransformerConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := torch.NewTransformerTrainer(dev, enc, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := torch.NewCPUTrainState(enc)
+
+	arena, err := dev.Ctx.Malloc(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Ctx.Free(arena); err != nil {
+		t.Fatal(err)
+	}
+	baseline := map[uint64]bool{}
+	for _, a := range dev.Ctx.Alloc.LiveAllocations() {
+		baseline[a] = true
+	}
+
+	snap := trainSnapshot{}
+	start := eng.Cycle()
+	for step := 0; step < steps; step++ {
+		ids := make([]int32, 6)
+		for j := range ids {
+			ids[j] = int32((step*17 + j*3 + 1) % testTransformerConfig.Vocab)
+		}
+		loss, err := tr.TrainStep(ids)
+		if err != nil {
+			t.Fatalf("train step %d: %v", step, err)
+		}
+		snap.Losses = append(snap.Losses, loss)
+		snap.CPU = append(snap.CPU, cpu.TrainStep(ids, 0.05))
+		for _, a := range dev.Ctx.Alloc.LiveAllocations() {
+			if !baseline[a] {
+				if err := dev.Ctx.Free(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	snap.Cycles = eng.Cycle() - start
+	snap.Log = append([]cudart.KernelStats(nil), dev.Ctx.KernelStatsLog()...)
+	snap.Stats = *eng.Stats()
+	for _, p := range enc.Params() {
+		snap.Weights = append(snap.Weights, p.W.ToHost())
+	}
+	return snap
+}
+
+// TestTrainSimMatchesCPU pushes three full training steps through the
+// detailed timing model and checks the loss trajectory against the
+// CPUTrainState host mirror — the training analogue of the
+// workload-level forward differential contract.
+func TestTrainSimMatchesCPU(t *testing.T) {
+	snap := runTrain(t, 1, 3, false)
+	if snap.Cycles == 0 {
+		t.Fatal("training did not go through the timing engine")
+	}
+	for i := range snap.Losses {
+		d := math.Abs(float64(snap.Losses[i] - snap.CPU[i]))
+		if d > 2e-2 {
+			t.Fatalf("step %d: sim loss %g vs cpu %g (diff %g)", i, snap.Losses[i], snap.CPU[i], d)
+		}
+	}
+}
+
+// TestTrainWorkerDeterminism extends the -j byte-identity contract to
+// the training workload with replay enabled: cycles, the per-kernel
+// stats log, the replay counters, the loss trajectory and the final
+// weights must all be identical for any worker count. The backward
+// pass's global atomics make this the sharpest determinism test in the
+// suite — any worker-order leak shows up in the weight bytes.
+func TestTrainWorkerDeterminism(t *testing.T) {
+	base := runTrain(t, 1, 3, true)
+	if base.Stats.ReplayHits == 0 {
+		t.Fatal("replay never engaged — the steady-state steps did not hit the cache")
+	}
+	for _, workers := range []int{2, 4} {
+		got := runTrain(t, workers, 3, true)
+		if base.Cycles != got.Cycles {
+			t.Errorf("-j1 vs -j%d total cycles diverged: %d vs %d", workers, base.Cycles, got.Cycles)
+		}
+		if !reflect.DeepEqual(base.Log, got.Log) {
+			t.Errorf("-j1 vs -j%d per-kernel stats diverged", workers)
+		}
+		if !reflect.DeepEqual(base.Losses, got.Losses) {
+			t.Errorf("-j1 vs -j%d losses diverged: %v vs %v", workers, base.Losses, got.Losses)
+		}
+		if !reflect.DeepEqual(base.Weights, got.Weights) {
+			t.Errorf("-j1 vs -j%d final weights diverged", workers)
+		}
+		for _, c := range []struct {
+			name      string
+			base, got uint64
+		}{
+			{"replay hits", base.Stats.ReplayHits, got.Stats.ReplayHits},
+			{"replay misses", base.Stats.ReplayMisses, got.Stats.ReplayMisses},
+			{"replay resamples", base.Stats.ReplayResamples, got.Stats.ReplayResamples},
+			{"replayed cycles", base.Stats.ReplayedCycles, got.Stats.ReplayedCycles},
+			{"detailed kernel cycles", base.Stats.DetailedKernelCycles, got.Stats.DetailedKernelCycles},
+			{"replay drift cycles", base.Stats.ReplayDriftCycles, got.Stats.ReplayDriftCycles},
+			{"replay memo applied", base.Stats.ReplayMemoApplied, got.Stats.ReplayMemoApplied},
+		} {
+			if c.base != c.got {
+				t.Errorf("-j1 vs -j%d %s diverged: %d vs %d", workers, c.name, c.base, c.got)
+			}
+		}
+	}
+}
+
+// goldenTrain pins the two-step training workload (6-token sequences,
+// -j1, detailed mode), including the per-kernel instruction counts of
+// every backward-pass kernel family.
+func goldenTrain(t *testing.T) goldenEntry {
+	t.Helper()
+	snap := runTrain(t, 1, 2, false)
+	return makeGoldenEntry(snap.Cycles, snap.Log, &snap.Stats, true)
+}

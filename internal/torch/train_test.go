@@ -1,0 +1,140 @@
+package torch_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/torch"
+)
+
+// Training-step differential tests: the device TrainStep (train-module
+// kernels end to end) against the independent CPUTrainState host
+// mirror, loss trajectory and post-step weights both.
+
+func trainIDs(rng *rand.Rand, seq, vocab int) []int32 {
+	ids := make([]int32, seq)
+	for i := range ids {
+		ids[i] = int32(rng.Intn(vocab))
+	}
+	return ids
+}
+
+func TestTrainStepMatchesCPUOracle(t *testing.T) {
+	dev := newDev(t)
+	cfg := torch.TransformerConfig{Layers: 2, Heads: 2, DModel: 16, FF: 32, Vocab: 29, MaxSeq: 8}
+	model, err := torch.NewTransformerEncoder(dev, rand.New(rand.NewSource(7)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lr = 0.05
+	tr, err := torch.NewTransformerTrainer(dev, model, lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := torch.NewCPUTrainState(model)
+
+	rng := rand.New(rand.NewSource(8))
+	const steps = 4
+	var prev float32
+	for step := 0; step < steps; step++ {
+		ids := trainIDs(rng, cfg.MaxSeq, cfg.Vocab)
+		devLoss, err := tr.TrainStep(ids)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		cpuLoss := cpu.TrainStep(ids, lr)
+		if d := math.Abs(float64(devLoss - cpuLoss)); d > 2e-2 {
+			t.Fatalf("step %d: device loss %g vs cpu %g (diff %g)", step, devLoss, cpuLoss, d)
+		}
+		if devLoss != devLoss {
+			t.Fatalf("step %d: NaN loss", step)
+		}
+		if step > 0 && step == steps-1 && devLoss >= prev+0.5 {
+			t.Fatalf("loss diverging: step %d %g after %g", step, devLoss, prev)
+		}
+		prev = devLoss
+	}
+
+	// post-training weights must track the mirror element-wise: same
+	// gradients flowed through both paths every step
+	for i, p := range model.Params() {
+		got := p.W.ToHost()
+		want := cpu.ParamSnapshot(i)
+		if len(got) != len(want) {
+			t.Fatalf("param %d (%s): length %d vs %d", i, p.Name, len(got), len(want))
+		}
+		var maxd float64
+		for j := range got {
+			if d := math.Abs(float64(got[j] - want[j])); d > maxd {
+				maxd = d
+			}
+		}
+		if maxd > 5e-2 {
+			t.Fatalf("param %d (%s): max weight drift %g after %d steps", i, p.Name, maxd, steps)
+		}
+	}
+}
+
+func TestBackwardWithoutGradsFailsLoudly(t *testing.T) {
+	dev := newDev(t)
+	cfg := torch.TransformerConfig{Layers: 1, Heads: 1, DModel: 8, FF: 16, Vocab: 11, MaxSeq: 4}
+	model, err := torch.NewTransformerEncoder(dev, rand.New(rand.NewSource(9)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := model.Forward([]int32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// no EnsureGrads: Backward must refuse, not scribble on nil buffers
+	err = model.Backward(y)
+	if err == nil || !strings.Contains(err.Error(), "no gradient buffer") {
+		t.Fatalf("Backward without grads = %v, want gradient-buffer error", err)
+	}
+}
+
+// TestSGDStepPartialState pins the documented mid-loop failure contract:
+// a poisoned parameter stops the step at its index, the error names the
+// parameter, and parameters before it HAVE been updated while those
+// after it have not.
+func TestSGDStepPartialState(t *testing.T) {
+	dev := newDev(t)
+	mk := func(val float32) *torch.Param {
+		w, err := dev.FromHost([]float32{val, val}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := dev.FromHost([]float32{1, 1}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &torch.Param{W: w, Grad: g, Name: "p"}
+	}
+	p0, p2 := mk(1), mk(3)
+	p0.Name, p2.Name = "first", "third"
+	// poisoned: gradient buffer never allocated
+	w1, err := dev.FromHost([]float32{2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := &torch.Param{W: w1, Name: "poisoned"}
+
+	opt := &torch.SGD{Dev: dev, LR: 0.5, Params: []*torch.Param{p0, p1, p2}}
+	err = opt.Step()
+	if err == nil {
+		t.Fatal("step with poisoned param succeeded")
+	}
+	for _, want := range []string{"param 1", "poisoned", "0..0 already updated"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	if got := p0.W.ToHost(); got[0] != 0.5 {
+		t.Fatalf("param before failure not updated: %v (want w -= lr*g = 0.5)", got)
+	}
+	if got := p2.W.ToHost(); got[0] != 3 {
+		t.Fatalf("param after failure was touched: %v (want untouched 3)", got)
+	}
+}

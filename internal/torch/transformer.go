@@ -1,11 +1,16 @@
 package torch
 
-// Transformer-inference modules: LayerNorm, GELU, multi-head attention,
-// the pre-LN encoder block, the embedding table, and a small encoder
-// model able to overlap per-sequence forward passes on CUDA streams.
-// Every module carries the same ForwardCPU self-check oracle contract as
-// the convolutional layers; Backward is not implemented — the workload
-// family is inference-only, matching the paper's deployed-model focus.
+// Transformer modules: LayerNorm, GELU, multi-head attention, the pre-LN
+// encoder block, the embedding table, and a small encoder model able to
+// overlap per-sequence forward passes on CUDA streams. Every module
+// carries the same ForwardCPU self-check oracle contract as the
+// convolutional layers, and since the training milestone each implements
+// Backward against the train kernel module. Forward caches activation
+// *pointers* only — it allocates nothing beyond what inference always
+// allocated, so inference-path device addresses (and therefore the
+// pinned golden timing stats) are unchanged. Gradient buffers are
+// allocated lazily by EnsureGrads after model construction; Backward on
+// a parameter without one fails loudly.
 
 import (
 	"fmt"
@@ -17,9 +22,15 @@ import (
 	"repro/internal/ref"
 )
 
-// errInferenceOnly is returned by Backward on inference-only modules.
-func errInferenceOnly(m Module) error {
-	return fmt.Errorf("torch: %T is inference-only (no backward pass)", m)
+// gradsRequired rejects a Backward call on parameters whose gradient
+// buffers have not been allocated (EnsureGrads was never run).
+func gradsRequired(ps ...*Param) error {
+	for _, p := range ps {
+		if p.Grad == nil {
+			return fmt.Errorf("torch: parameter %s has no gradient buffer; call EnsureGrads before training", p.Name)
+		}
+	}
+	return nil
 }
 
 // validateTokenIDs rejects ids outside [0, vocab) before they reach the
@@ -41,6 +52,7 @@ type LayerNorm struct {
 	Eps   float32
 	Gamma *Param
 	Beta  *Param
+	lastX *Tensor
 }
 
 // NewLayerNorm builds a layer norm with γ=1, β=0.
@@ -72,11 +84,27 @@ func (l *LayerNorm) Forward(x *Tensor) (*Tensor, error) {
 	if err := l.Dev.H.LayerNormForward(x.Ptr, l.Gamma.W.Ptr, l.Beta.W.Ptr, y.Ptr, rows, l.Dim, l.Eps); err != nil {
 		return nil, err
 	}
+	l.lastX = x
 	return y, nil
 }
 
-// Backward implements Module.
-func (l *LayerNorm) Backward(dy *Tensor) (*Tensor, error) { return nil, errInferenceOnly(l) }
+// Backward implements Module: dx from the cached input, with dgamma and
+// dbeta accumulated into the parameter gradients.
+func (l *LayerNorm) Backward(dy *Tensor) (*Tensor, error) {
+	if err := gradsRequired(l.Gamma, l.Beta); err != nil {
+		return nil, err
+	}
+	rows := dy.Count() / l.Dim
+	dx, err := l.Dev.NewTensor(dy.Shape...)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Dev.H.LayerNormBackward(l.lastX.Ptr, l.Gamma.W.Ptr, dy.Ptr, dx.Ptr,
+		l.Gamma.Grad.Ptr, l.Beta.Grad.Ptr, rows, l.Dim, l.Eps); err != nil {
+		return nil, err
+	}
+	return dx, nil
+}
 
 // Params implements Module.
 func (l *LayerNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }
@@ -89,7 +117,8 @@ func (l *LayerNorm) ForwardCPU(x []float32, shape []int) ([]float32, []int) {
 
 // GELU is the tanh-form GELU activation.
 type GELU struct {
-	Dev *Device
+	Dev   *Device
+	lastX *Tensor
 }
 
 // Forward implements Module.
@@ -101,11 +130,21 @@ func (g *GELU) Forward(x *Tensor) (*Tensor, error) {
 	if err := g.Dev.H.GeluForward(x.Ptr, y.Ptr, x.Count()); err != nil {
 		return nil, err
 	}
+	g.lastX = x
 	return y, nil
 }
 
 // Backward implements Module.
-func (g *GELU) Backward(dy *Tensor) (*Tensor, error) { return nil, errInferenceOnly(g) }
+func (g *GELU) Backward(dy *Tensor) (*Tensor, error) {
+	dx, err := g.Dev.NewTensor(dy.Shape...)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Dev.H.GeluBackward(g.lastX.Ptr, dy.Ptr, dx.Ptr, dy.Count()); err != nil {
+		return nil, err
+	}
+	return dx, nil
+}
 
 // Params implements Module.
 func (g *GELU) Params() []*Param { return nil }
@@ -163,6 +202,39 @@ func (p *projection) applyCPU(x []float32, rows, in, out int) []float32 {
 	return y
 }
 
+// backward computes dx = dy·Wᵀ and accumulates dW += xᵀ·dy and
+// db += Σ_rows dy, where x is the cached forward input of this
+// projection.
+func (p *projection) backward(dev *Device, x, dy *Tensor, rows, in, out int) (*Tensor, error) {
+	if err := gradsRequired(p.W, p.B); err != nil {
+		return nil, err
+	}
+	dx, err := dev.NewTensor(rows, in)
+	if err != nil {
+		return nil, err
+	}
+	// dx[rows,in] = dy[rows,out] · W[in,out]ᵀ
+	if err := dev.H.GemmNTStridedBatched(dy.Ptr, p.W.W.Ptr, dx.Ptr,
+		rows, in, out, rows*out, in*out, rows*in, 1, 1, 0); err != nil {
+		return nil, err
+	}
+	// dW[in,out] += x[rows,in]ᵀ · dy[rows,out]
+	if err := dev.H.GemmTNStridedBatched(x.Ptr, dy.Ptr, p.W.Grad.Ptr,
+		in, out, rows, rows*in, rows*out, in*out, 1, 1, 1); err != nil {
+		return nil, err
+	}
+	// db[out] += dy[rows,out]ᵀ · ones[rows]
+	ones, err := dev.FromHost(onesSlice(rows), rows)
+	if err != nil {
+		return nil, err
+	}
+	defer ones.Free()
+	if err := dev.H.GemvT(dy.Ptr, ones.Ptr, p.B.Grad.Ptr, rows, out, 1, 1); err != nil {
+		return nil, err
+	}
+	return dx, nil
+}
+
 // MultiHeadAttention is scaled dot-product self-attention over a
 // [seq, DModel] activation: per-head Q·Kᵀ via the NT strided-batched
 // GEMM, row-softmax, probabilities·V via the NN strided-batched GEMM,
@@ -175,6 +247,13 @@ type MultiHeadAttention struct {
 	Wk     *projection
 	Wv     *projection
 	Wo     *projection
+	// forward activation cache (pointers only) for Backward
+	lastX   *Tensor
+	lastSeq int
+	qh, kh  *Tensor
+	vh      *Tensor
+	probs   *Tensor
+	merged  *Tensor
 }
 
 // NewMultiHeadAttention builds the four projections; dModel must divide
@@ -264,11 +343,106 @@ func (m *MultiHeadAttention) Forward(x *Tensor) (*Tensor, error) {
 	if err := h.MergeHeads(ctxh.Ptr, merged.Ptr, seq, m.Heads, dh); err != nil {
 		return nil, err
 	}
+	m.lastX, m.lastSeq = x, seq
+	m.qh, m.kh, m.vh = qh, kh, vh
+	m.probs, m.merged = probs, merged
 	return m.Wo.apply(m.Dev, merged, seq, dm, dm)
 }
 
-// Backward implements Module.
-func (m *MultiHeadAttention) Backward(dy *Tensor) (*Tensor, error) { return nil, errInferenceOnly(m) }
+// Backward implements Module: walks the attention graph in reverse —
+// output projection, head merge, probs·V, the softmax Jacobian, the
+// scaled Q·Kᵀ, the head split, and finally the three input projections
+// whose input gradients sum into dx.
+func (m *MultiHeadAttention) Backward(dy *Tensor) (*Tensor, error) {
+	seq := m.lastSeq
+	dm := m.DModel
+	dh := dm / m.Heads
+	h := m.Dev.H
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	dmerged, err := m.Wo.backward(m.Dev, m.merged, dy, seq, dm, dm)
+	if err != nil {
+		return nil, err
+	}
+	dctxh, err := m.Dev.NewTensor(m.Heads, seq, dh)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.SplitHeads(dmerged.Ptr, dctxh.Ptr, seq, m.Heads, dh); err != nil {
+		return nil, err
+	}
+
+	// context[h] = probs·Vh  ⇒  dprobs = dctx·Vhᵀ, dVh = probsᵀ·dctx
+	dprobs, err := m.Dev.NewTensor(m.Heads, seq, seq)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.GemmNTStridedBatched(dctxh.Ptr, m.vh.Ptr, dprobs.Ptr,
+		seq, seq, dh, seq*dh, seq*dh, seq*seq, m.Heads, 1, 0); err != nil {
+		return nil, err
+	}
+	dvh, err := m.Dev.NewTensor(m.Heads, seq, dh)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.GemmTNStridedBatched(m.probs.Ptr, dctxh.Ptr, dvh.Ptr,
+		seq, dh, seq, seq*seq, seq*dh, seq*dh, m.Heads, 1, 0); err != nil {
+		return nil, err
+	}
+
+	dscores, err := m.Dev.NewTensor(m.Heads, seq, seq)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.SoftmaxBackward(m.probs.Ptr, dprobs.Ptr, dscores.Ptr, m.Heads*seq, seq); err != nil {
+		return nil, err
+	}
+
+	// scores = scale·Qh·Khᵀ  ⇒  dQh = scale·dscores·Kh, dKh = scale·dscoresᵀ·Qh
+	dqh, err := m.Dev.NewTensor(m.Heads, seq, dh)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.GemmStridedBatched(dscores.Ptr, m.kh.Ptr, dqh.Ptr,
+		seq, dh, seq, seq*seq, seq*dh, seq*dh, m.Heads, scale, 0); err != nil {
+		return nil, err
+	}
+	dkh, err := m.Dev.NewTensor(m.Heads, seq, dh)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.GemmTNStridedBatched(dscores.Ptr, m.qh.Ptr, dkh.Ptr,
+		seq, dh, seq, seq*seq, seq*dh, seq*dh, m.Heads, scale, 0); err != nil {
+		return nil, err
+	}
+
+	// back to [seq, DModel] and through the input projections
+	grads := make([]*Tensor, 3)
+	for i, src := range []*Tensor{dqh, dkh, dvh} {
+		t, err := m.Dev.NewTensor(seq, dm)
+		if err != nil {
+			return nil, err
+		}
+		if err := h.MergeHeads(src.Ptr, t.Ptr, seq, m.Heads, dh); err != nil {
+			return nil, err
+		}
+		grads[i] = t
+	}
+	dx, err := m.Wq.backward(m.Dev, m.lastX, grads[0], seq, dm, dm)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range []*projection{m.Wk, m.Wv} {
+		d, err := p.backward(m.Dev, m.lastX, grads[i+1], seq, dm, dm)
+		if err != nil {
+			return nil, err
+		}
+		if err := h.AccumulateAdd(d.Ptr, dx.Ptr, seq*dm); err != nil {
+			return nil, err
+		}
+	}
+	return dx, nil
+}
 
 // Params implements Module.
 func (m *MultiHeadAttention) Params() []*Param {
@@ -307,6 +481,10 @@ type TransformerBlock struct {
 	Fc1  *projection
 	Fc2  *projection
 	Act  *GELU
+	// forward activation cache (pointers only) for Backward
+	lastSeq int
+	lastN2  *Tensor
+	lastAct *Tensor
 }
 
 // NewTransformerBlock builds one encoder block.
@@ -378,11 +556,49 @@ func (b *TransformerBlock) Forward(x *Tensor) (*Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
+	b.lastSeq, b.lastN2, b.lastAct = seq, n2, a
 	return b.residual(h, f2)
 }
 
-// Backward implements Module.
-func (b *TransformerBlock) Backward(dy *Tensor) (*Tensor, error) { return nil, errInferenceOnly(b) }
+// Backward implements Module. The two residual connections make the
+// gradient flow: dy reaches both the FF branch and (as a pass-through)
+// h; the combined dh then reaches both the attention branch and (again
+// as a pass-through) x.
+func (b *TransformerBlock) Backward(dy *Tensor) (*Tensor, error) {
+	seq := b.lastSeq
+	// FF branch: y = h + Fc2(GELU(Fc1(LN2(h))))
+	da, err := b.Fc2.backward(b.Dev, b.lastAct, dy, seq, b.Ff, b.Dm)
+	if err != nil {
+		return nil, err
+	}
+	df1, err := b.Act.Backward(da)
+	if err != nil {
+		return nil, err
+	}
+	dn2, err := b.Fc1.backward(b.Dev, b.lastN2, df1, seq, b.Dm, b.Ff)
+	if err != nil {
+		return nil, err
+	}
+	dhFF, err := b.Ln2.Backward(dn2)
+	if err != nil {
+		return nil, err
+	}
+	// dh = dy (residual) + FF-branch gradient
+	dh, err := b.residual(dy, dhFF)
+	if err != nil {
+		return nil, err
+	}
+	// attention branch: h = x + Attn(LN1(x))
+	dn1, err := b.Attn.Backward(dh)
+	if err != nil {
+		return nil, err
+	}
+	dxAttn, err := b.Ln1.Backward(dn1)
+	if err != nil {
+		return nil, err
+	}
+	return b.residual(dh, dxAttn)
+}
 
 // Params implements Module.
 func (b *TransformerBlock) Params() []*Param {
@@ -408,10 +624,12 @@ func (b *TransformerBlock) ForwardCPU(x []float32, shape []int) ([]float32, []in
 // Module (its input is ids, not a float tensor); it exposes the same
 // Forward/ForwardCPU differential contract directly.
 type Embedding struct {
-	Dev   *Device
-	Vocab int
-	Dim   int
-	Table *Param
+	Dev     *Device
+	Vocab   int
+	Dim     int
+	Table   *Param
+	lastIDs uint64
+	lastN   int
 }
 
 // NewEmbedding builds a randomly initialised embedding table.
@@ -435,7 +653,18 @@ func (e *Embedding) ForwardDevice(ids uint64, n int) (*Tensor, error) {
 	if err := e.Dev.H.EmbeddingLookup(e.Table.W.Ptr, ids, y.Ptr, n, e.Dim); err != nil {
 		return nil, err
 	}
+	e.lastIDs, e.lastN = ids, n
 	return y, nil
+}
+
+// Backward scatter-adds dy into the table gradient by the cached token
+// ids. The embedding consumes ids, not activations, so no input
+// gradient is produced.
+func (e *Embedding) Backward(dy *Tensor) error {
+	if err := gradsRequired(e.Table); err != nil {
+		return err
+	}
+	return e.Dev.H.EmbeddingBackward(dy.Ptr, e.lastIDs, e.Table.Grad.Ptr, e.lastN, e.Dim)
 }
 
 // Forward uploads the ids and gathers their embedding rows.
@@ -468,12 +697,13 @@ type TransformerConfig struct {
 // TransformerEncoder is a small N-layer pre-LN encoder: token embedding
 // + learned positional embedding, Layers blocks, and a final LayerNorm.
 type TransformerEncoder struct {
-	Dev    *Device
-	Cfg    TransformerConfig
-	Embed  *Embedding
-	Pos    *Param
-	Blocks []*TransformerBlock
-	Final  *LayerNorm
+	Dev     *Device
+	Cfg     TransformerConfig
+	Embed   *Embedding
+	Pos     *Param
+	Blocks  []*TransformerBlock
+	Final   *LayerNorm
+	lastSeq int
 }
 
 // NewTransformerEncoder builds the model with deterministic rng-seeded
@@ -526,7 +756,34 @@ func (t *TransformerEncoder) forwardDevice(ids uint64, seq int) (*Tensor, error)
 			return nil, err
 		}
 	}
+	t.lastSeq = seq
 	return t.Final.Forward(x)
+}
+
+// Backward propagates dy (gradient of the final [seq, DModel]
+// activation) through the final norm and every block in reverse, then
+// accumulates the positional-table gradient prefix and scatter-adds the
+// token gradient into the embedding table. Parameter gradients
+// accumulate in place; run EnsureGrads once before the first call.
+func (t *TransformerEncoder) Backward(dy *Tensor) error {
+	if err := gradsRequired(t.Pos); err != nil {
+		return err
+	}
+	seq := t.lastSeq
+	dx, err := t.Final.Backward(dy)
+	if err != nil {
+		return err
+	}
+	for i := len(t.Blocks) - 1; i >= 0; i-- {
+		if dx, err = t.Blocks[i].Backward(dx); err != nil {
+			return err
+		}
+	}
+	// x0 = embed + pos[:seq] — dx feeds both tables
+	if err := t.Dev.H.AccumulateAdd(dx.Ptr, t.Pos.Grad.Ptr, seq*t.Cfg.DModel); err != nil {
+		return err
+	}
+	return t.Embed.Backward(dx)
 }
 
 // Forward runs one sequence of token ids through the encoder and returns

@@ -175,10 +175,11 @@ func TestTransformerRejectsBadTokenIDs(t *testing.T) {
 	}
 }
 
-// TestTransformerInferenceOnlyBackward pins the inference-only contract:
-// Backward on the transformer modules reports a clear error instead of
-// silently corrupting state.
-func TestTransformerInferenceOnlyBackward(t *testing.T) {
+// TestTransformerBackwardRequiresGrads pins the lazy-gradient contract:
+// modules with parameters refuse Backward until EnsureGrads has
+// allocated their gradient buffers, instead of scribbling on nil
+// pointers.
+func TestTransformerBackwardRequiresGrads(t *testing.T) {
 	dev := newDev(t)
 	rng := rand.New(rand.NewSource(47))
 	ln, err := torch.NewLayerNorm(dev, 4)
@@ -189,9 +190,25 @@ func TestTransformerInferenceOnlyBackward(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range []torch.Module{ln, &torch.GELU{Dev: dev}, blk} {
-		if _, err := m.Backward(nil); err == nil {
-			t.Fatalf("%T.Backward did not error", m)
+	x, err := dev.FromHost(randInput(rng, 2*4), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []torch.Module{ln, blk} {
+		if _, err := m.Forward(x); err != nil {
+			t.Fatalf("%T.Forward: %v", m, err)
+		}
+		if _, err := m.Backward(x); err == nil {
+			t.Fatalf("%T.Backward without gradient buffers did not error", m)
+		}
+	}
+	// EnsureGrads unlocks training on the same modules
+	for _, m := range []torch.Module{ln, blk} {
+		if err := torch.EnsureGrads(dev, m.Params()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Backward(x); err != nil {
+			t.Fatalf("%T.Backward after EnsureGrads: %v", m, err)
 		}
 	}
 }

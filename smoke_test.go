@@ -163,6 +163,44 @@ func TestMainPackagesSmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("gpgpusim_workload_train", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "gpgpusim"),
+			"-workload", "train", "-steps", "3", "-replay", "-j", "2")
+		for _, want := range []string{
+			"train workload", "3 steps", "training loss (device vs CPU mirror)",
+			"cpu_loss", "max |device - cpu| loss diff", "tokens/Mcycle",
+			"replay coverage", "per-kernel replay coverage",
+			"layernorm_backward", "sgd_update",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in train workload output:\n%s", want, out)
+			}
+		}
+	})
+
+	// invalid flag combinations must fail loudly (exit 2 with a usage
+	// hint) instead of silently ignoring the flag
+	t.Run("gpgpusim_invalid_flag_combos", func(t *testing.T) {
+		for _, c := range []struct {
+			args []string
+			want string
+		}{
+			{[]string{"-workload", "decode", "-decode"}, "-decode only applies to -workload serve"},
+			{[]string{"-workload", "transformer", "-prompt", "3"}, "-prompt/-gen only apply to"},
+			{[]string{"-workload", "transformer", "-gen", "5"}, "-prompt/-gen only apply to"},
+			{[]string{"-workload", "serve", "-rate", "10", "-trace", "x.trace"}, "mutually exclusive"},
+			{[]string{"-workload", "decode", "-steps", "2"}, "-steps only applies to -workload train"},
+		} {
+			out, code := runBinaryExpectError(t, filepath.Join(bin, "gpgpusim"), c.args...)
+			if code != 2 {
+				t.Errorf("gpgpusim %v exited %d, want usage exit 2\n%s", c.args, code, out)
+			}
+			if !strings.Contains(out, c.want) {
+				t.Errorf("gpgpusim %v: missing %q in error output:\n%s", c.args, c.want, out)
+			}
+		}
+	})
+
 	t.Run("gpgpusim_workload_serve", func(t *testing.T) {
 		// a pinned 16-request trace: arrivals every 40k cycles, 12 tokens,
 		// 2 chain iterations each — the percentile summary must appear
@@ -262,7 +300,7 @@ func TestMainPackagesSmoke(t *testing.T) {
 
 	t.Run("aerialvision", func(t *testing.T) {
 		dir := filepath.Join(t.TempDir(), "aerial")
-		out := runBinary(t, filepath.Join(bin, "aerialvision"), "-o", dir, "-replay", "-decode", "-serve")
+		out := runBinary(t, filepath.Join(bin, "aerialvision"), "-o", dir, "-replay", "-decode", "-serve", "-train", "-train-steps", "2")
 		if !strings.Contains(out, "wrote") {
 			t.Fatalf("aerialvision reported no files:\n%s", out)
 		}
@@ -294,7 +332,30 @@ func TestMainPackagesSmoke(t *testing.T) {
 		if !strings.HasPrefix(string(serveCSV), "window_end_cycle,completed,p50_cycles,") {
 			t.Fatalf("serve_latency.csv header unexpected:\n%s", serveCSV[:min(len(serveCSV), 200)])
 		}
+		trainCSV, err := os.ReadFile(filepath.Join(dir, "train_loss.csv"))
+		if err != nil {
+			t.Fatalf("aerialvision -train did not write the training loss CSV: %v", err)
+		}
+		if !strings.HasPrefix(string(trainCSV), "step,loss,cpu_loss,replayed") {
+			t.Fatalf("train_loss.csv header unexpected:\n%s", trainCSV[:min(len(trainCSV), 200)])
+		}
 	})
+}
+
+// runBinaryExpectError runs a binary that must FAIL, returning its
+// combined output and exit code.
+func runBinaryExpectError(t *testing.T, path string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(path, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v succeeded, expected failure\n%s", filepath.Base(path), args, out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v did not run: %v", filepath.Base(path), args, err)
+	}
+	return string(out), ee.ExitCode()
 }
 
 func runBinary(t *testing.T, path string, args ...string) string {
