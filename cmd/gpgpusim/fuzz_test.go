@@ -12,26 +12,37 @@ import (
 func FuzzValidateFlagCombos(f *testing.F) {
 	// the supported -workload train invocations and every rejected combo
 	// from the CLI smoke test
-	f.Add("train", "steps", false)
-	f.Add("train", "steps,replay", false)
-	f.Add("train", "steps,j,replay-resample", false)
-	f.Add("decode", "steps", false)
-	f.Add("", "steps", false)
-	f.Add("decode", "decode", false)
-	f.Add("serve", "decode,prompt,gen", true)
-	f.Add("transformer", "prompt", false)
-	f.Add("transformer", "gen", false)
-	f.Add("serve", "rate,trace", false)
-	f.Add("membound", "", false)
-	f.Fuzz(func(t *testing.T, workload, flagsCSV string, serveDecode bool) {
+	f.Add("train", "steps", false, 1)
+	f.Add("train", "steps,replay", false, 1)
+	f.Add("train", "steps,j,replay-resample", false, 1)
+	f.Add("decode", "steps", false, 1)
+	f.Add("", "steps", false, 1)
+	f.Add("decode", "decode", false, 1)
+	f.Add("serve", "decode,prompt,gen", true, 1)
+	f.Add("transformer", "prompt", false, 1)
+	f.Add("transformer", "gen", false, 1)
+	f.Add("serve", "rate,trace", false, 1)
+	f.Add("membound", "", false, 1)
+	// -devices combos: the supported multi-GPU runs and every rejection
+	f.Add("train", "devices,steps", false, 2)
+	f.Add("train", "devices,j,replay", false, 4)
+	f.Add("transformer", "devices,j", false, 2)
+	f.Add("serve", "devices", false, 2)
+	f.Add("decode", "devices", false, 2)
+	f.Add("membound", "devices", false, 2)
+	f.Add("train", "devices", false, 0)
+	f.Add("train", "devices", false, -3)
+	f.Add("transformer", "devices,streams", false, 2)
+	f.Add("transformer", "devices,replay", false, 2)
+	f.Fuzz(func(t *testing.T, workload, flagsCSV string, serveDecode bool, devices int) {
 		set := map[string]bool{}
 		for _, name := range strings.Split(flagsCSV, ",") {
 			if name != "" {
 				set[name] = true
 			}
 		}
-		err := validateFlagCombos(workload, serveDecode, set)
-		again := validateFlagCombos(workload, serveDecode, set)
+		err := validateFlagCombos(workload, serveDecode, devices, set)
+		again := validateFlagCombos(workload, serveDecode, devices, set)
 		if (err == nil) != (again == nil) {
 			t.Fatalf("validator not deterministic: %v vs %v", err, again)
 		}
@@ -47,6 +58,13 @@ func FuzzValidateFlagCombos(f *testing.F) {
 		// `-workload X` runs with defaults
 		if len(set) == 0 && err != nil {
 			t.Fatalf("empty flag set rejected: %v", err)
+		}
+		// -devices left at its default (not explicitly set) must never
+		// cause a rejection, whatever value the caller passes through
+		if !set["devices"] && err == nil && devices != 1 {
+			if e := validateFlagCombos(workload, serveDecode, 1, set); e != nil {
+				t.Fatalf("devices value changed the verdict without -devices set: %v", e)
+			}
 		}
 	})
 }

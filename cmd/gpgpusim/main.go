@@ -38,6 +38,7 @@ func main() {
 	gen := flag.Int("gen", 8, "with -workload decode (or serve -decode): tokens each sequence greedy-decodes")
 	serveDecode := flag.Bool("decode", false, "with -workload serve: generate a decode trace (-prompt prefill, -gen decode tokens per request) instead of encoder requests; KV-cache bytes gate admission")
 	steps := flag.Int("steps", 4, "with -workload train: training steps to run")
+	devices := flag.Int("devices", 1, "with -workload train or transformer: simulate N GPUs as one node (data-parallel training / tensor-parallel inference over a modelled NVLink fabric); -j host workers step the devices concurrently")
 	flag.Parse()
 
 	// Most workload flags have non-zero defaults, so a value comparison
@@ -46,7 +47,7 @@ func main() {
 	// otherwise be silently ignored.
 	setFlags := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
-	if err := validateFlagCombos(*workload, *serveDecode, setFlags); err != nil {
+	if err := validateFlagCombos(*workload, *serveDecode, *devices, setFlags); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -56,6 +57,7 @@ func main() {
 			workers: *workers, streams: *streams, replay: *replay, resampleEvery: *resample,
 			rate: *rate, traceFile: *traceFile, requests: *requests, serveSeed: *serveSeed,
 			prompt: *prompt, gen: *gen, serveDecode: *serveDecode, steps: *steps,
+			devices: *devices,
 		}
 		if err := runWorkloadFlag(*workload, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -167,13 +169,28 @@ type workloadOpts struct {
 	prompt, gen      int
 	serveDecode      bool
 	steps            int
+	devices          int
 }
 
 // validateFlagCombos rejects flag combinations a workload would silently
 // ignore: each error names the offending flag and the run that would
 // actually honour it, and the CLI exits 2 (usage) instead of producing
 // misleading output.
-func validateFlagCombos(workload string, serveDecode bool, set map[string]bool) error {
+func validateFlagCombos(workload string, serveDecode bool, devices int, set map[string]bool) error {
+	if set["devices"] {
+		if devices < 1 {
+			return fmt.Errorf("-devices must be >= 1, got %d (usage: `gpgpusim -devices 2 -workload train`)", devices)
+		}
+		if workload != "train" && workload != "transformer" {
+			return fmt.Errorf("-devices only applies to -workload train or transformer; multi-GPU serve/decode is not supported yet (usage: `gpgpusim -devices 2 -workload train`)")
+		}
+		if set["streams"] {
+			return fmt.Errorf("-streams only applies to single-device runs: tensor-parallel inference spreads each sequence across all devices instead of across streams (usage: `gpgpusim -devices 2 -workload transformer`)")
+		}
+		if set["replay"] && workload == "transformer" {
+			return fmt.Errorf("-replay with -devices only applies to -workload train (the tensor-parallel inference phases are launched once per sequence — nothing repeats; usage: `gpgpusim -devices 2 -workload train -replay`)")
+		}
+	}
 	if set["decode"] && workload != "serve" {
 		return fmt.Errorf("-decode only applies to -workload serve (usage: `gpgpusim -workload serve -decode`; for the standalone decode batch use `-workload decode`)")
 	}
@@ -199,8 +216,11 @@ var workloads = []struct {
 }{
 	{
 		name: "transformer",
-		desc: "runs the encoder inference batch in the detailed model (-streams sequences, -j workers); add -replay to repeat the batch in hybrid replay mode",
+		desc: "runs the encoder inference batch in the detailed model (-streams sequences, -j workers); add -replay to repeat the batch in hybrid replay mode, or -devices N for tensor-parallel inference across N simulated GPUs",
 		run: func(o workloadOpts) error {
+			if o.devices > 1 {
+				return runMultiTransformerWorkload(o)
+			}
 			if o.replay {
 				return runTransformerReplayWorkload(o)
 			}
@@ -219,8 +239,13 @@ var workloads = []struct {
 	},
 	{
 		name: "train",
-		desc: "runs -steps transformer training steps (forward, loss, backward, SGD) in the detailed model, each step's loss checked against the CPU mirror; -replay retires steady-state steps from the replay cache",
-		run:  runTrainWorkload,
+		desc: "runs -steps transformer training steps (forward, loss, backward, SGD) in the detailed model, each step's loss checked against the CPU mirror; -replay retires steady-state steps from the replay cache, -devices N trains data-parallel across N simulated GPUs",
+		run: func(o workloadOpts) error {
+			if o.devices > 1 {
+				return runMultiTrainWorkload(o)
+			}
+			return runTrainWorkload(o)
+		},
 	},
 	{
 		name: "membound",

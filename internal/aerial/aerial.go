@@ -176,6 +176,34 @@ func KernelReplayCSV(w io.Writer, rows []KernelReplayRow) error {
 	return err
 }
 
+// DeviceRow is one simulated GPU's share of a multi-device node run for
+// DeviceSummary (mirrors the multigpu package's per-device counters
+// without importing it).
+type DeviceRow struct {
+	Device              int
+	Cycles              uint64
+	Instructions        uint64
+	L2Accesses          uint64
+	DRAMAccesses        uint64
+	FastForwardedCycles uint64 // idle cycles bridged at collective barriers
+	Launches            uint64
+}
+
+// DeviceSummary renders the per-device engine counters of a multi-GPU
+// node run: every device ends at the same barrier cycle, so the
+// interesting columns are the per-rank work split and how many of each
+// rank's cycles were bridged waiting at collectives.
+func DeviceSummary(w io.Writer, title string, rows []DeviceRow) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%-8s %12s %14s %10s %10s %12s %9s\n",
+		"device", "cycles", "instrs", "l2_acc", "dram", "barrier_cy", "launches")
+	for _, r := range rows {
+		fmt.Fprintf(w, "gpu%-5d %12d %14d %10d %10d %12d %9d\n",
+			r.Device, r.Cycles, r.Instructions, r.L2Accesses, r.DRAMAccesses,
+			r.FastForwardedCycles, r.Launches)
+	}
+}
+
 // DecodeThroughputRow is one simulation mode's summary of a repeated
 // KV-cached greedy-decode batch for DecodeThroughputSummary and
 // DecodeThroughputCSV: generated tokens against modelled cycles, plus

@@ -1,0 +1,268 @@
+// Package multigpu couples N independent timing engines into one
+// simulated multi-GPU node. Each device is a full (Context, Handle,
+// Engine) stack of its own; the node adds a modelled NVLink fabric
+// (internal/nvlink) and a coordinator that drives per-device work in
+// *phases*: between collectives every device runs freely — and the host
+// steps them concurrently on the shared worker pool — while at a
+// collective boundary the coordinator performs the functional data
+// movement itself, in rank order, prices the collective on the fabric,
+// and fast-forwards every engine to its completion cycle.
+//
+// Determinism contract, extended across devices: a phase touches only
+// its own rank's state, all cross-device data flow happens on the
+// coordinator in rank order, and barrier cycles are keyed only off
+// modelled clocks — so modelled cycles, per-device stats and every
+// weight byte are identical whether the host steps devices with 1
+// worker or N.
+package multigpu
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"repro/internal/exec"
+	"repro/internal/nvlink"
+	"repro/internal/timing"
+	"repro/internal/torch"
+)
+
+// Config sizes a node.
+type Config struct {
+	// Devices is the number of simulated GPUs (>= 1).
+	Devices int
+	// Workers is the host worker-goroutine count stepping device phases
+	// (the -j flag): 0 means 1, negative means all host CPUs. It only
+	// affects wall-clock, never simulation results.
+	Workers int
+	// Link configures the NVLink fabric; zero values select
+	// nvlink.DefaultConfig.
+	Link nvlink.Config
+	// Replay enables kernel-level replay memoization on every engine.
+	Replay bool
+	// ReplayResampleEvery re-details every Nth replay hit (0 = never).
+	ReplayResampleEvery int
+}
+
+// Node is one simulated multi-GPU machine.
+type Node struct {
+	Devs    []*torch.Device
+	Engines []*timing.Engine
+	Fabric  *nvlink.Fabric
+	pool    *timing.Pool
+	workers int
+}
+
+// NewNode builds cfg.Devices identical GTX 1050 devices, each with its
+// own single-worker engine (host parallelism lives across devices, not
+// within one), connected by a fresh fabric.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Devices < 1 {
+		return nil, fmt.Errorf("multigpu: node needs at least 1 device, got %d", cfg.Devices)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1
+	} else if workers < 0 {
+		workers = runtime.NumCPU()
+	}
+	fab, err := nvlink.New(cfg.Devices, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Fabric: fab, workers: workers, pool: timing.NewPool(workers)}
+	for i := 0; i < cfg.Devices; i++ {
+		dev, err := torch.NewDevice(exec.BugSet{})
+		if err != nil {
+			n.Close()
+			return nil, err
+		}
+		tcfg := timing.GTX1050()
+		tcfg.ReplayEnabled = cfg.Replay
+		tcfg.ReplayResampleEvery = cfg.ReplayResampleEvery
+		eng, err := timing.New(tcfg, timing.WithWorkers(1))
+		if err != nil {
+			n.Close()
+			return nil, err
+		}
+		dev.Ctx.SetRunner(timing.Runner{E: eng})
+		n.Devs = append(n.Devs, dev)
+		n.Engines = append(n.Engines, eng)
+	}
+	return n, nil
+}
+
+// Close releases the node's engines and pool.
+func (n *Node) Close() {
+	for _, e := range n.Engines {
+		e.Close()
+	}
+	n.pool.Close()
+}
+
+// World returns the device count.
+func (n *Node) World() int { return len(n.Devs) }
+
+// Workers returns the host worker count.
+func (n *Node) Workers() int { return n.workers }
+
+// Cycle returns the node clock: the furthest-ahead device cycle (at
+// collective boundaries all devices agree).
+func (n *Node) Cycle() uint64 {
+	var m uint64
+	for _, e := range n.Engines {
+		if c := e.Cycle(); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Parallel runs f(rank) for every device, stepped concurrently on the
+// node's worker pool. f must touch only rank-local state. Errors are
+// collected per rank and the first (in rank order) is returned, so
+// failure reporting is deterministic for any worker count.
+func (n *Node) Parallel(f func(rank int) error) error {
+	errs := make([]error, len(n.Devs))
+	n.pool.Run(len(n.Devs), func(i int) { errs[i] = f(i) })
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("multigpu: device %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// MergedStats folds every device's engine statistics into one node-wide
+// view, in rank order.
+func (n *Node) MergedStats() *timing.Stats {
+	s := timing.NewStats(n.Engines[0].Config())
+	for _, e := range n.Engines {
+		s.Merge(e.Stats())
+	}
+	return s
+}
+
+// readF32 reads a tensor's payload straight from device memory (no
+// modelled transfer — collectives are priced on the fabric instead).
+func readF32(dev *torch.Device, t *torch.Tensor) []float32 {
+	buf := make([]byte, 4*t.Count())
+	dev.Ctx.Mem.Read(t.Ptr, buf)
+	out := make([]float32, t.Count())
+	for i := range out {
+		out[i] = math.Float32frombits(leU32(buf[4*i:]))
+	}
+	return out
+}
+
+// writeF32 writes a float32 slice straight into device memory.
+func writeF32(dev *torch.Device, t *torch.Tensor, vals []float32) {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		putLeU32(buf[4*i:], math.Float32bits(v))
+	}
+	dev.Ctx.Mem.Write(t.Ptr, buf)
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLeU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// advanceAll fast-forwards every engine to the collective completion
+// cycle.
+func (n *Node) advanceAll(cycle uint64) error {
+	for r, e := range n.Engines {
+		if err := e.AdvanceTo(cycle); err != nil {
+			return fmt.Errorf("multigpu: device %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// readyCycles snapshots every engine's clock (collective readiness).
+func (n *Node) readyCycles() []uint64 {
+	ready := make([]uint64, len(n.Engines))
+	for i, e := range n.Engines {
+		ready[i] = e.Cycle()
+	}
+	return ready
+}
+
+// AllReduce sums the per-rank tensor lists element-wise — in rank
+// order, the same summation order the CPU mirror uses — and writes the
+// sum back to every rank. The timing side is one fused ring all-reduce
+// of the total byte count; every engine is advanced to its completion
+// cycle. tensors[r][i] must have identical element counts across ranks.
+func (n *Node) AllReduce(tensors [][]*torch.Tensor) error {
+	world := n.World()
+	if len(tensors) != world {
+		return fmt.Errorf("multigpu: AllReduce got %d ranks, node has %d", len(tensors), world)
+	}
+	total := 0
+	for _, t := range tensors[0] {
+		total += 4 * t.Count()
+	}
+	end := n.Fabric.RingAllReduce(total, n.readyCycles())
+	for p := range tensors[0] {
+		sum := readF32(n.Devs[0], tensors[0][p])
+		for r := 1; r < world; r++ {
+			vals := readF32(n.Devs[r], tensors[r][p])
+			if len(vals) != len(sum) {
+				return fmt.Errorf("multigpu: AllReduce tensor %d: rank %d has %d elements, rank 0 has %d",
+					p, r, len(vals), len(sum))
+			}
+			for j, v := range vals {
+				sum[j] += v
+			}
+		}
+		for r := 0; r < world; r++ {
+			writeF32(n.Devs[r], tensors[r][p], sum)
+		}
+	}
+	return n.advanceAll(end)
+}
+
+// AllGatherCols concatenates equal-width column shards row-wise: rank
+// r's [rows, cols] shard becomes columns [r*cols, (r+1)*cols) of every
+// rank's [rows, world*cols] destination. Pure byte movement — the
+// gathered activation is bitwise the concatenation of the shards. The
+// timing side is one ring all-gather of the shard size.
+func (n *Node) AllGatherCols(shards, dsts []*torch.Tensor) error {
+	world := n.World()
+	if len(shards) != world || len(dsts) != world {
+		return fmt.Errorf("multigpu: AllGatherCols got %d/%d ranks, node has %d", len(shards), len(dsts), world)
+	}
+	rows, cols := shards[0].Dim(0), shards[0].Dim(1)
+	end := n.Fabric.RingAllGather(4*rows*cols, n.readyCycles())
+	parts := make([][]byte, world)
+	for r := 0; r < world; r++ {
+		if shards[r].Dim(0) != rows || shards[r].Dim(1) != cols {
+			return fmt.Errorf("multigpu: AllGatherCols shard %d is [%d,%d], want [%d,%d]",
+				r, shards[r].Dim(0), shards[r].Dim(1), rows, cols)
+		}
+		buf := make([]byte, 4*rows*cols)
+		n.Devs[r].Ctx.Mem.Read(shards[r].Ptr, buf)
+		parts[r] = buf
+	}
+	full := make([]byte, 4*rows*world*cols)
+	for r := 0; r < world; r++ {
+		for i := 0; i < rows; i++ {
+			copy(full[4*(i*world*cols+r*cols):], parts[r][4*i*cols:4*(i+1)*cols])
+		}
+	}
+	for r := 0; r < world; r++ {
+		if dsts[r].Count() != rows*world*cols {
+			return fmt.Errorf("multigpu: AllGatherCols dst %d has %d elements, want %d",
+				r, dsts[r].Count(), rows*world*cols)
+		}
+		n.Devs[r].Ctx.Mem.Write(dsts[r].Ptr, full)
+	}
+	return n.advanceAll(end)
+}

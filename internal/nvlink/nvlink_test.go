@@ -1,0 +1,115 @@
+package nvlink
+
+import "testing"
+
+func TestTransferReservations(t *testing.T) {
+	f, err := New(2, Config{LinkBytesPerCycle: 16, LatencyCycles: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First transfer: starts at ready, occupies ceil(1600/16)=100 cycles
+	// plus latency.
+	start, end := f.Transfer(0, 1, 1600, 50)
+	if start != 50 {
+		t.Fatalf("start = %d, want 50", start)
+	}
+	if end != 50+100+100 {
+		t.Fatalf("end = %d, want 250", end)
+	}
+	// Second transfer on the same link arrives earlier than the horizon:
+	// it must queue behind the first (start at the horizon, stall charged).
+	start2, end2 := f.Transfer(0, 1, 160, 100)
+	if start2 != end {
+		t.Fatalf("queued start = %d, want %d", start2, end)
+	}
+	if end2 != end+100+10 {
+		t.Fatalf("queued end = %d, want %d", end2, end+110)
+	}
+	// The reverse link is independent.
+	start3, _ := f.Transfer(1, 0, 160, 100)
+	if start3 != 100 {
+		t.Fatalf("reverse-link start = %d, want 100 (links are directed)", start3)
+	}
+	st := f.Stats()
+	if st.Transfers != 3 {
+		t.Fatalf("Transfers = %d, want 3", st.Transfers)
+	}
+	if st.BytesMoved != 1600+160+160 {
+		t.Fatalf("BytesMoved = %d, want 1920", st.BytesMoved)
+	}
+	if st.StallCycles != end-100 {
+		t.Fatalf("StallCycles = %d, want %d", st.StallCycles, end-100)
+	}
+}
+
+func TestHorizonsOnlyAdvance(t *testing.T) {
+	f, _ := New(2, Config{})
+	_, end1 := f.Transfer(0, 1, 1<<20, 0)
+	// A later transfer with an earlier ready cycle must not start before
+	// the horizon.
+	start2, end2 := f.Transfer(0, 1, 4, 0)
+	if start2 < end1 {
+		t.Fatalf("horizon rewound: start %d < previous end %d", start2, end1)
+	}
+	if end2 <= end1 {
+		t.Fatalf("end %d did not advance past %d", end2, end1)
+	}
+}
+
+func TestRingAllReduceShape(t *testing.T) {
+	cfg := Config{LinkBytesPerCycle: 16, LatencyCycles: 100}
+	for _, n := range []int{2, 4} {
+		f, _ := New(n, cfg)
+		ready := make([]uint64, n)
+		ready[n-1] = 1000 // stragglers gate the rendezvous
+		bytes := 1 << 16
+		end := f.RingAllReduce(bytes, ready)
+		chunk := (bytes + n - 1) / n
+		perPhase := uint64(100) + uint64((chunk+15)/16)
+		want := uint64(1000) + uint64(2*(n-1))*perPhase
+		if end != want {
+			t.Fatalf("n=%d: all-reduce end = %d, want %d", n, end, want)
+		}
+		st := f.Stats()
+		if st.Transfers != uint64(2*(n-1)*n) {
+			t.Fatalf("n=%d: transfers = %d, want %d", n, st.Transfers, 2*(n-1)*n)
+		}
+	}
+}
+
+func TestRingAllGatherShape(t *testing.T) {
+	f, _ := New(4, Config{LinkBytesPerCycle: 16, LatencyCycles: 100})
+	shard := 1 << 12
+	end := f.RingAllGather(shard, []uint64{0, 0, 0, 0})
+	perPhase := uint64(100) + uint64(shard/16)
+	if want := 3 * perPhase; end != want {
+		t.Fatalf("all-gather end = %d, want %d", end, want)
+	}
+}
+
+func TestSingleDeviceCollectivesAreFree(t *testing.T) {
+	f, _ := New(1, Config{})
+	if end := f.RingAllReduce(1<<20, []uint64{42}); end != 42 {
+		t.Fatalf("1-device all-reduce end = %d, want 42", end)
+	}
+	if end := f.RingAllGather(1<<20, []uint64{7}); end != 7 {
+		t.Fatalf("1-device all-gather end = %d, want 7", end)
+	}
+	if st := f.Stats(); st.Transfers != 0 {
+		t.Fatalf("1-device collectives reserved %d transfers, want 0", st.Transfers)
+	}
+}
+
+func TestCollectivesDeterministic(t *testing.T) {
+	run := func() (uint64, Stats) {
+		f, _ := New(4, Config{})
+		end := f.RingAllReduce(123457, []uint64{3, 1, 4, 1})
+		end = f.RingAllGather(999, []uint64{end, end, end, end})
+		return end, f.Stats()
+	}
+	e1, s1 := run()
+	e2, s2 := run()
+	if e1 != e2 || s1 != s2 {
+		t.Fatalf("collective schedule not deterministic: %d/%+v vs %d/%+v", e1, s1, e2, s2)
+	}
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateDiurnal = flag.Bool("update", false, "rewrite testdata/diurnal.trace from the generator")
+
+// shiftTrace offsets every arrival by base cycles — used to place the
+// diurnal segments one after another on the serving clock.
+func shiftTrace(t Trace, base uint64) Trace {
+	out := Trace{Requests: append([]Request(nil), t.Requests...)}
+	for i := range out.Requests {
+		out.Requests[i].Arrival += base
+	}
+	return out
+}
+
+// diurnalSegments are the per-segment request counts of the checked-in
+// trace: a morning low, a midday burst peak, an evening low.
+const (
+	diurnalMorning = 6
+	diurnalPeak    = 10
+	diurnalEvening = 6
+)
+
+// diurnalTrace regenerates the checked-in testdata/diurnal.trace: a
+// low→peak→low KV-cached decode day compressed to simulation scale.
+// Sparse Poisson shoulders (25 req/Mcycle, prefill 3 / decode 2) bracket
+// a bursty midday peak (400 req/Mcycle inside bursts of 5, prefill 4 /
+// decode 3), each segment offset 50k cycles past the previous one so
+// the scheduler drains between regimes. Everything is seeded, so the
+// file is reproducible with `go test ./internal/serve -run Diurnal -update`.
+func diurnalTrace() Trace {
+	const gap = 50_000
+	morning := Poisson(11, 25, diurnalMorning, 0, 0).WithDecode(3, 2)
+	peak := Bursty(12, 400, 5, 30_000, diurnalPeak, 0, 0).WithDecode(4, 3)
+	evening := Poisson(13, 25, diurnalEvening, 0, 0).WithDecode(3, 2)
+
+	morningEnd := morning.Requests[len(morning.Requests)-1].Arrival
+	peak = shiftTrace(peak, morningEnd+gap)
+	peakEnd := peak.Requests[len(peak.Requests)-1].Arrival
+	evening = shiftTrace(evening, peakEnd+gap)
+	return Merge(morning, peak, evening)
+}
+
+// TestDiurnalTrace pins testdata/diurnal.trace to its generator and
+// replays it end to end: the checked-in bytes must parse back to exactly
+// the generated trace (v2 format), the midday segment must actually be
+// the dense one, and a full serving run over it must complete every
+// request under the usual admission invariants.
+func TestDiurnalTrace(t *testing.T) {
+	want := diurnalTrace()
+	path := filepath.Join("testdata", "diurnal.trace")
+	if *updateDiurnal {
+		var buf bytes.Buffer
+		if err := want.Format(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate with -update): %v", path, err)
+	}
+	if !strings.HasPrefix(string(data), traceHeaderV2+"\n") {
+		t.Fatalf("%s is not a v2 trace:\n%.80s", path, data)
+	}
+	got, err := ParseTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Requests) != len(want.Requests) {
+		t.Fatalf("%s has %d requests, generator yields %d (stale — regenerate with -update)",
+			path, len(got.Requests), len(want.Requests))
+	}
+	for i := range want.Requests {
+		if got.Requests[i] != want.Requests[i] {
+			t.Fatalf("%s request %d = %+v, generator yields %+v (stale — regenerate with -update)",
+				path, i, got.Requests[i], want.Requests[i])
+		}
+	}
+
+	// diurnal shape: the peak segment's mean inter-arrival spacing must
+	// be tighter than either shoulder's
+	spacing := func(reqs []Request) float64 {
+		span := reqs[len(reqs)-1].Arrival - reqs[0].Arrival
+		return float64(span) / float64(len(reqs)-1)
+	}
+	morning := got.Requests[:diurnalMorning]
+	peak := got.Requests[diurnalMorning : diurnalMorning+diurnalPeak]
+	evening := got.Requests[diurnalMorning+diurnalPeak:]
+	if s := spacing(peak); s >= spacing(morning) || s >= spacing(evening) {
+		t.Fatalf("peak spacing %.0f not denser than shoulders (%.0f morning, %.0f evening)",
+			s, spacing(morning), spacing(evening))
+	}
+
+	t.Run("replay", func(t *testing.T) {
+		res, err := Run(testConfig(), got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkInvariants(t, res)
+		if !res.Decode {
+			t.Fatal("diurnal trace did not select decode mode")
+		}
+		if res.PeakKVBytes == 0 {
+			t.Fatal("no KV cache resident during the diurnal replay")
+		}
+		if res.PeakBatch < 2 {
+			t.Fatalf("peak batch %d: the midday burst never overlapped requests", res.PeakBatch)
+		}
+	})
+}

@@ -120,6 +120,29 @@ func (e *Engine) SetWorkers(n int) {
 	e.workers = n
 }
 
+// AdvanceTo fast-forwards an idle engine's clock to the given absolute
+// cycle, charging the bridged span to the idle statistics exactly like
+// the drain loop's idle fast-forward (so bucket sums keep matching
+// elapsed cycles). The multi-GPU node uses it to charge modelled NVLink
+// communication time at collective boundaries: every participating
+// engine is advanced to the collective's completion cycle. Targets at
+// or before the current cycle are a no-op; an engine with queued work
+// refuses (the caller must drain first, otherwise the jump would
+// overlap the queued operations' timing).
+func (e *Engine) AdvanceTo(cycle uint64) error {
+	if len(e.queue) != 0 {
+		return fmt.Errorf("timing: AdvanceTo(%d) with %d queued operations (drain first)", cycle, len(e.queue))
+	}
+	if cycle <= e.cycle {
+		return nil
+	}
+	span := cycle - e.cycle
+	e.stats.addIdleBulk(e.cycle, span, e.cfg)
+	e.stats.FastForwardedCycles += span
+	e.cycle = cycle
+	return nil
+}
+
 // Partitions exposes the DRAM channels (for the aerial plots).
 func (e *Engine) Partitions() []*dram.Channel {
 	out := make([]*dram.Channel, len(e.parts))

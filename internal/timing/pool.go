@@ -1,6 +1,7 @@
 package timing
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -79,6 +80,37 @@ func (p *pool) run(n int, f func(int)) {
 	j.run() // the coordinator works too
 	wg.Wait()
 }
+
+// Pool is the exported handle to the engine's fixed-size worker pool,
+// for host-side parallelism layered *above* individual engines: the
+// multi-GPU node steps per-device phases concurrently on one. Run
+// partitions n independent tasks across the workers (the calling
+// goroutine participates) and returns when all completed; tasks must
+// touch disjoint state. A pool with workers <= 1 runs tasks inline on
+// the caller, so results are identical for any worker count as long as
+// the tasks are order-independent.
+type Pool struct {
+	p       *pool
+	workers int
+}
+
+// NewPool builds a pool with the given worker count; workers <= 0
+// selects runtime.NumCPU().
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Pool{p: newPool(workers), workers: workers}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes f(0..n-1) across the pool and waits for completion.
+func (p *Pool) Run(n int, f func(int)) { p.p.run(n, f) }
+
+// Close stops the background workers. Idempotent.
+func (p *Pool) Close() { p.p.close() }
 
 // close stops the background workers. Idempotent (it is reached both from
 // Engine.Close and from the engine's GC cleanup); a closed pool reports

@@ -1,0 +1,400 @@
+package torch
+
+// Tensor-parallel transformer shards for the multi-GPU node. Every
+// weight matrix is split column-wise across the world: rank r of W
+// holds the contiguous column block W[:, r*cols/world : (r+1)*cols/world]
+// (for the attention projections that block is a contiguous range of
+// whole heads). Each phase computes a column shard of its layer's
+// output from a *full-width* input, then the node's all-gather
+// concatenates the shards back into the full activation on every rank
+// before the next phase consumes it.
+//
+// The all-column split (rather than the Megatron column-then-row pair)
+// is deliberate: every GEMM keeps the full K dimension, so each output
+// element is the same dot product, accumulated in the same k-order, as
+// the single-device encoder's — and since the gather only *moves* bytes,
+// the sharded forward is bitwise identical to TransformerEncoder.Forward
+// with the same weights. The multi-GPU tests lean on that as an exact
+// oracle; the cost is one extra gather per block over the 2-collective
+// Megatron schedule, which the modelled fabric prices accordingly.
+//
+// Phase methods only touch the shard's own device and launch on the
+// default stream (synchronous), so the node can run one phase per rank
+// concurrently on the host pool and find every engine idle at the
+// collective boundary.
+
+import (
+	"fmt"
+	"math"
+)
+
+// tpBlock holds rank-local weights of one transformer block: replicated
+// layer norms, column-sharded projections.
+type tpBlock struct {
+	ln1G, ln1B *Tensor
+	ln2G, ln2B *Tensor
+	wq, wk, wv *projection // [DModel, DModel/world]
+	wo         *projection // [DModel, DModel/world]
+	fc1        *projection // [DModel, FF/world]
+	fc2        *projection // [FF, DModel/world]
+}
+
+// TPShard is one rank of a tensor-parallel replica of a
+// TransformerEncoder. The embedding, positional table and layer norms
+// are replicated; all projections are column shards.
+type TPShard struct {
+	Dev   *Device
+	Cfg   TransformerConfig
+	Rank  int
+	World int
+
+	localHeads int // Heads / World
+	dh         int // DModel / Heads
+	dmShard    int // DModel / World
+	ffShard    int // FF / World
+	eps        float32
+
+	table  *Tensor // [Vocab, DModel] replicated
+	pos    *Tensor // [MaxSeq, DModel] replicated
+	blocks []*tpBlock
+	finalG *Tensor
+	finalB *Tensor
+
+	// forward state threaded between phases
+	seq   int
+	x     *Tensor // residual stream [seq, DModel]
+	h     *Tensor // post-attention residual [seq, DModel]
+	shard *Tensor // column shard the last phase produced
+	full  *Tensor // gather destination the next phase consumes
+}
+
+// colShard extracts the contiguous column block [c0, c0+n) of a
+// row-major [rows, cols] host matrix.
+func colShard(w []float32, rows, cols, c0, n int) []float32 {
+	out := make([]float32, rows*n)
+	for r := 0; r < rows; r++ {
+		copy(out[r*n:(r+1)*n], w[r*cols+c0:r*cols+c0+n])
+	}
+	return out
+}
+
+// shardProjection uploads rank-local column shards of a reference
+// projection (weight [in, out] → [in, n]; bias [out] → [n]).
+func shardProjection(dev *Device, ref *projection, in, out, c0, n int) (*projection, error) {
+	w, err := dev.FromHost(colShard(ref.W.W.ToHost(), in, out, c0, n), in, n)
+	if err != nil {
+		return nil, err
+	}
+	b, err := dev.FromHost(ref.B.W.ToHost()[c0:c0+n], n)
+	if err != nil {
+		return nil, err
+	}
+	return &projection{W: &Param{W: w, Name: ref.W.Name}, B: &Param{W: b, Name: ref.B.Name}}, nil
+}
+
+// replicate uploads a full copy of a reference tensor.
+func replicate(dev *Device, src *Tensor) (*Tensor, error) {
+	return dev.FromHost(src.ToHost(), src.Shape...)
+}
+
+// NewTPShard builds rank `rank` of a `world`-way tensor-parallel copy of
+// ref's weights on dev. The reference encoder stays untouched (its
+// weights are read back to the host and re-uploaded shard-wise), so it
+// remains usable as the exact single-device oracle. world must divide
+// Heads, DModel and FF.
+func NewTPShard(dev *Device, ref *TransformerEncoder, rank, world int) (*TPShard, error) {
+	cfg := ref.Cfg
+	if world < 1 || rank < 0 || rank >= world {
+		return nil, fmt.Errorf("torch: tensor-parallel rank %d out of range for world %d", rank, world)
+	}
+	if cfg.Heads%world != 0 || cfg.DModel%world != 0 || cfg.FF%world != 0 {
+		return nil, fmt.Errorf("torch: tensor-parallel world %d must divide heads %d, d_model %d and ff %d",
+			world, cfg.Heads, cfg.DModel, cfg.FF)
+	}
+	s := &TPShard{
+		Dev: dev, Cfg: cfg, Rank: rank, World: world,
+		localHeads: cfg.Heads / world,
+		dh:         cfg.DModel / cfg.Heads,
+		dmShard:    cfg.DModel / world,
+		ffShard:    cfg.FF / world,
+		eps:        ref.Final.Eps,
+	}
+	var err error
+	if s.table, err = replicate(dev, ref.Embed.Table.W); err != nil {
+		return nil, err
+	}
+	if s.pos, err = replicate(dev, ref.Pos.W); err != nil {
+		return nil, err
+	}
+	for _, blk := range ref.Blocks {
+		b := &tpBlock{}
+		if b.ln1G, err = replicate(dev, blk.Ln1.Gamma.W); err != nil {
+			return nil, err
+		}
+		if b.ln1B, err = replicate(dev, blk.Ln1.Beta.W); err != nil {
+			return nil, err
+		}
+		if b.ln2G, err = replicate(dev, blk.Ln2.Gamma.W); err != nil {
+			return nil, err
+		}
+		if b.ln2B, err = replicate(dev, blk.Ln2.Beta.W); err != nil {
+			return nil, err
+		}
+		dm := cfg.DModel
+		if b.wq, err = shardProjection(dev, blk.Attn.Wq, dm, dm, rank*s.dmShard, s.dmShard); err != nil {
+			return nil, err
+		}
+		if b.wk, err = shardProjection(dev, blk.Attn.Wk, dm, dm, rank*s.dmShard, s.dmShard); err != nil {
+			return nil, err
+		}
+		if b.wv, err = shardProjection(dev, blk.Attn.Wv, dm, dm, rank*s.dmShard, s.dmShard); err != nil {
+			return nil, err
+		}
+		if b.wo, err = shardProjection(dev, blk.Attn.Wo, dm, dm, rank*s.dmShard, s.dmShard); err != nil {
+			return nil, err
+		}
+		if b.fc1, err = shardProjection(dev, blk.Fc1, dm, cfg.FF, rank*s.ffShard, s.ffShard); err != nil {
+			return nil, err
+		}
+		if b.fc2, err = shardProjection(dev, blk.Fc2, cfg.FF, dm, rank*s.dmShard, s.dmShard); err != nil {
+			return nil, err
+		}
+		s.blocks = append(s.blocks, b)
+	}
+	if s.finalG, err = replicate(dev, ref.Final.Gamma.W); err != nil {
+		return nil, err
+	}
+	if s.finalB, err = replicate(dev, ref.Final.Beta.W); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Layers returns the number of transformer blocks.
+func (s *TPShard) Layers() int { return len(s.blocks) }
+
+// PendingGather returns the column shard the last phase produced and
+// the full-width destination the next phase consumes. The node's
+// all-gather collective fills dst from every rank's shard.
+func (s *TPShard) PendingGather() (shard, dst *Tensor) { return s.shard, s.full }
+
+// layerNorm applies a replicated layer norm out-of-place.
+func (s *TPShard) layerNorm(x, g, b *Tensor, rows int) (*Tensor, error) {
+	y, err := s.Dev.NewTensor(rows, s.Cfg.DModel)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Dev.H.LayerNormForward(x.Ptr, g.Ptr, b.Ptr, y.Ptr, rows, s.Cfg.DModel, s.eps); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// StartForward begins a sequence: uploads the ids, gathers embeddings
+// and adds the positional prefix. No collective needed — the embedding
+// is replicated.
+func (s *TPShard) StartForward(ids []int32) error {
+	if err := validateTokenIDs(ids, s.Cfg.Vocab); err != nil {
+		return err
+	}
+	seq := len(ids)
+	if seq > s.Cfg.MaxSeq {
+		return fmt.Errorf("torch: sequence length %d exceeds MaxSeq %d", seq, s.Cfg.MaxSeq)
+	}
+	addr, err := s.Dev.UploadLabels(ids)
+	if err != nil {
+		return err
+	}
+	e, err := s.Dev.NewTensor(seq, s.Cfg.DModel)
+	if err != nil {
+		return err
+	}
+	if err := s.Dev.H.EmbeddingLookup(s.table.Ptr, addr, e.Ptr, seq, s.Cfg.DModel); err != nil {
+		return err
+	}
+	x, err := s.Dev.NewTensor(seq, s.Cfg.DModel)
+	if err != nil {
+		return err
+	}
+	if err := s.Dev.H.ResidualAdd(e.Ptr, s.pos.Ptr, x.Ptr, seq*s.Cfg.DModel); err != nil {
+		return err
+	}
+	s.seq, s.x = seq, x
+	s.shard, s.full = nil, nil
+	return nil
+}
+
+// AttnCtx runs block blk's ln1 and the rank's local attention heads,
+// producing the context column shard [seq, DModel/World]. Next
+// collective: gather the full context.
+func (s *TPShard) AttnCtx(blk int) error {
+	b := s.blocks[blk]
+	seq, dm, dh := s.seq, s.Cfg.DModel, s.dh
+	h := s.Dev.H
+	n1, err := s.layerNorm(s.x, b.ln1G, b.ln1B, seq)
+	if err != nil {
+		return err
+	}
+	cols := s.dmShard // localHeads*dh
+	q, err := b.wq.apply(s.Dev, n1, seq, dm, cols)
+	if err != nil {
+		return err
+	}
+	k, err := b.wk.apply(s.Dev, n1, seq, dm, cols)
+	if err != nil {
+		return err
+	}
+	v, err := b.wv.apply(s.Dev, n1, seq, dm, cols)
+	if err != nil {
+		return err
+	}
+	heads := make([]*Tensor, 3)
+	for i, src := range []*Tensor{q, k, v} {
+		t, err := s.Dev.NewTensor(s.localHeads, seq, dh)
+		if err != nil {
+			return err
+		}
+		if err := h.SplitHeads(src.Ptr, t.Ptr, seq, s.localHeads, dh); err != nil {
+			return err
+		}
+		heads[i] = t
+	}
+	qh, kh, vh := heads[0], heads[1], heads[2]
+	scores, err := s.Dev.NewTensor(s.localHeads, seq, seq)
+	if err != nil {
+		return err
+	}
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	if err := h.GemmNTStridedBatched(qh.Ptr, kh.Ptr, scores.Ptr,
+		seq, seq, dh, seq*dh, seq*dh, seq*seq, s.localHeads, scale, 0); err != nil {
+		return err
+	}
+	probs, err := s.Dev.NewTensor(s.localHeads, seq, seq)
+	if err != nil {
+		return err
+	}
+	if err := h.SoftmaxForward(scores.Ptr, probs.Ptr, s.localHeads*seq, seq); err != nil {
+		return err
+	}
+	ctxh, err := s.Dev.NewTensor(s.localHeads, seq, dh)
+	if err != nil {
+		return err
+	}
+	if err := h.GemmStridedBatched(probs.Ptr, vh.Ptr, ctxh.Ptr,
+		seq, dh, seq, seq*seq, seq*dh, seq*dh, s.localHeads, 1, 0); err != nil {
+		return err
+	}
+	merged, err := s.Dev.NewTensor(seq, cols)
+	if err != nil {
+		return err
+	}
+	if err := h.MergeHeads(ctxh.Ptr, merged.Ptr, seq, s.localHeads, dh); err != nil {
+		return err
+	}
+	s.shard = merged
+	if s.full, err = s.Dev.NewTensor(seq, dm); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AttnOut consumes the gathered full context and produces the output
+// projection's column shard. Next collective: gather the full attention
+// output.
+func (s *TPShard) AttnOut(blk int) error {
+	b := s.blocks[blk]
+	seq, dm := s.seq, s.Cfg.DModel
+	o, err := b.wo.apply(s.Dev, s.full, seq, dm, s.dmShard)
+	if err != nil {
+		return err
+	}
+	s.shard = o
+	if s.full, err = s.Dev.NewTensor(seq, dm); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MLPAct consumes the gathered attention output: adds the residual,
+// runs ln2 and the rank's fc1 column shard plus GELU. Next collective:
+// gather the full [seq, FF] activation.
+func (s *TPShard) MLPAct(blk int) error {
+	b := s.blocks[blk]
+	seq, dm := s.seq, s.Cfg.DModel
+	hres, err := s.Dev.NewTensor(seq, dm)
+	if err != nil {
+		return err
+	}
+	if err := s.Dev.H.ResidualAdd(s.x.Ptr, s.full.Ptr, hres.Ptr, seq*dm); err != nil {
+		return err
+	}
+	n2, err := s.layerNorm(hres, b.ln2G, b.ln2B, seq)
+	if err != nil {
+		return err
+	}
+	f1, err := b.fc1.apply(s.Dev, n2, seq, dm, s.ffShard)
+	if err != nil {
+		return err
+	}
+	act, err := s.Dev.NewTensor(seq, s.ffShard)
+	if err != nil {
+		return err
+	}
+	if err := s.Dev.H.GeluForward(f1.Ptr, act.Ptr, f1.Count()); err != nil {
+		return err
+	}
+	s.h = hres
+	s.shard = act
+	if s.full, err = s.Dev.NewTensor(seq, s.Cfg.FF); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MLPOut consumes the gathered full GELU activation and produces the
+// fc2 column shard. Next collective: gather the full MLP output.
+func (s *TPShard) MLPOut(blk int) error {
+	b := s.blocks[blk]
+	seq := s.seq
+	f2, err := b.fc2.apply(s.Dev, s.full, seq, s.Cfg.FF, s.dmShard)
+	if err != nil {
+		return err
+	}
+	s.shard = f2
+	if s.full, err = s.Dev.NewTensor(seq, s.Cfg.DModel); err != nil {
+		return err
+	}
+	return nil
+}
+
+// EndBlock consumes the gathered full MLP output and closes block blk
+// with the second residual add, leaving the stream ready for the next
+// block's AttnCtx.
+func (s *TPShard) EndBlock(blk int) error {
+	_ = blk
+	seq, dm := s.seq, s.Cfg.DModel
+	x, err := s.Dev.NewTensor(seq, dm)
+	if err != nil {
+		return err
+	}
+	if err := s.Dev.H.ResidualAdd(s.h.Ptr, s.full.Ptr, x.Ptr, seq*dm); err != nil {
+		return err
+	}
+	s.x = x
+	s.shard, s.full = nil, nil
+	return nil
+}
+
+// Output applies the replicated final layer norm and returns the
+// [seq, DModel] activation — bitwise identical on every rank, and to
+// the single-device encoder's Forward with the same weights.
+func (s *TPShard) Output() (*Tensor, error) {
+	y, err := s.Dev.NewTensor(s.seq, s.Cfg.DModel)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Dev.H.LayerNormForward(s.x.Ptr, s.finalG.Ptr, s.finalB.Ptr, y.Ptr, s.seq, s.Cfg.DModel, s.eps); err != nil {
+		return nil, err
+	}
+	return y, nil
+}

@@ -71,6 +71,23 @@ func NewTransformerTrainer(dev *Device, model *TransformerEncoder, lr float32) (
 // loss. All math up to the loss download runs as kernels; the only
 // synchronising transfer is the per-row loss readback.
 func (t *TransformerTrainer) TrainStep(ids []int32) (float32, error) {
+	loss, err := t.ForwardBackward(ids)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.Opt.Step(); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+// ForwardBackward runs the forward pass, loss head and backward pass
+// without the optimizer update, and returns the mean next-token loss.
+// Gradients accumulate on the device: single-device training steps the
+// optimizer right after (TrainStep); data-parallel training first
+// combines the replicas' gradients with a ring all-reduce
+// (internal/multigpu) and only then steps each replica.
+func (t *TransformerTrainer) ForwardBackward(ids []int32) (float32, error) {
 	cfg := t.Model.Cfg
 	seq, dm, vocab := len(ids), cfg.DModel, cfg.Vocab
 	table := t.Model.Embed.Table
@@ -124,9 +141,6 @@ func (t *TransformerTrainer) TrainStep(ids []int32) (float32, error) {
 	var sum float32
 	for _, v := range perRow {
 		sum += v
-	}
-	if err := t.Opt.Step(); err != nil {
-		return 0, err
 	}
 	return sum / float32(seq), nil
 }
@@ -295,6 +309,16 @@ func (b *cpuBlock) x1() []float32 { return b.n1 }
 // TrainStep mirrors TransformerTrainer.TrainStep on the host and
 // returns the mean loss.
 func (c *CPUTrainState) TrainStep(ids []int32, lr float32) float32 {
+	loss := c.ForwardBackward(ids)
+	c.sgd(lr)
+	return loss
+}
+
+// ForwardBackward mirrors TransformerTrainer.ForwardBackward on the
+// host: gradients accumulate into the mirror's buffers without an
+// optimizer update, so the data-parallel oracle can combine them across
+// mirrors (AllReduceCPUGrads) before stepping each with ApplySGD.
+func (c *CPUTrainState) ForwardBackward(ids []int32) float32 {
 	cfg := c.Cfg
 	seq, dm, vocab := len(ids), cfg.DModel, cfg.Vocab
 	eps := c.Eps
@@ -344,10 +368,13 @@ func (c *CPUTrainState) TrainStep(ids []int32, lr float32) float32 {
 	addInto(c.dpos[:seq*dm], dx)
 	addInto(c.dtable, ref.EmbeddingBackward(dx, ids, vocab, dm))
 
-	// SGD
-	c.sgd(lr)
 	return sum / float32(seq)
 }
+
+// ApplySGD applies one SGD update with the given learning rate and
+// zeroes the accumulated gradients (exported for the data-parallel
+// mirror, which all-reduces gradients across replicas before stepping).
+func (c *CPUTrainState) ApplySGD(lr float32) { c.sgd(lr) }
 
 func (c *CPUTrainState) sgd(lr float32) {
 	step := func(w, g []float32) {
@@ -386,6 +413,47 @@ func (c *CPUTrainState) ParamSnapshot(i int) []float32 {
 	}
 	all = append(all, c.final.g, c.final.b)
 	return all[i]
+}
+
+// gradSlices returns the mirror's gradient buffers in ParamSnapshot
+// order.
+func (c *CPUTrainState) gradSlices() [][]float32 {
+	var all [][]float32
+	all = append(all, c.dtable, c.dpos)
+	for _, b := range c.blocks {
+		all = append(all, b.ln1.dg, b.ln1.db,
+			b.q.dw, b.q.db, b.k.dw, b.k.db, b.v.dw, b.v.db, b.o.dw, b.o.db,
+			b.ln2.dg, b.ln2.db, b.fc1.dw, b.fc1.db, b.fc2.dw, b.fc2.db)
+	}
+	all = append(all, c.final.dg, c.final.db)
+	return all
+}
+
+// AllReduceCPUGrads sums the accumulated gradients of the given mirrors
+// element-wise in argument order and stores the sum back into every
+// mirror — the host-side analog of the device ring all-reduce. The
+// rank-ordered summation matches the multi-GPU coordinator's exactly,
+// so the mirrors track the device replicas' rounding behaviour.
+func AllReduceCPUGrads(states []*CPUTrainState) {
+	if len(states) < 2 {
+		return
+	}
+	grads := make([][][]float32, len(states))
+	for i, s := range states {
+		grads[i] = s.gradSlices()
+	}
+	for p := range grads[0] {
+		sum := make([]float32, len(grads[0][p]))
+		copy(sum, grads[0][p])
+		for r := 1; r < len(states); r++ {
+			for j, v := range grads[r][p] {
+				sum[j] += v
+			}
+		}
+		for r := range states {
+			copy(grads[r][p], sum)
+		}
+	}
 }
 
 func invSqrt(n int) float32 {

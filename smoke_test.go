@@ -178,6 +178,35 @@ func TestMainPackagesSmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("gpgpusim_workload_train_multigpu", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "gpgpusim"),
+			"-workload", "train", "-devices", "2", "-steps", "2", "-j", "2")
+		for _, want := range []string{
+			"multi-GPU train workload: data-parallel across 2 devices",
+			"rank0", "rank1", "max |device - cpu mirror| loss diff",
+			"final weights byte-identical across devices",
+			"nvlink:", "per-device engine counters", "gpu0", "gpu1",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in multi-GPU train output:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("gpgpusim_workload_transformer_multigpu", func(t *testing.T) {
+		out := runBinary(t, filepath.Join(bin, "gpgpusim"),
+			"-workload", "transformer", "-devices", "2", "-j", "2")
+		for _, want := range []string{
+			"multi-GPU transformer workload: tensor-parallel across 2 devices",
+			"outputs bitwise identical to the single-device reference",
+			"all-gathers", "nvlink:", "per-device engine counters", "gpu1",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in multi-GPU transformer output:\n%s", want, out)
+			}
+		}
+	})
+
 	// invalid flag combinations must fail loudly (exit 2 with a usage
 	// hint) instead of silently ignoring the flag
 	t.Run("gpgpusim_invalid_flag_combos", func(t *testing.T) {
@@ -190,6 +219,9 @@ func TestMainPackagesSmoke(t *testing.T) {
 			{[]string{"-workload", "transformer", "-gen", "5"}, "-prompt/-gen only apply to"},
 			{[]string{"-workload", "serve", "-rate", "10", "-trace", "x.trace"}, "mutually exclusive"},
 			{[]string{"-workload", "decode", "-steps", "2"}, "-steps only applies to -workload train"},
+			{[]string{"-workload", "train", "-devices", "0"}, "-devices must be >= 1"},
+			{[]string{"-workload", "serve", "-devices", "2"}, "-devices only applies to -workload train or transformer"},
+			{[]string{"-workload", "transformer", "-devices", "2", "-streams", "2"}, "-streams only applies to single-device runs"},
 		} {
 			out, code := runBinaryExpectError(t, filepath.Join(bin, "gpgpusim"), c.args...)
 			if code != 2 {
@@ -221,6 +253,25 @@ func TestMainPackagesSmoke(t *testing.T) {
 		} {
 			if !strings.Contains(out, want) {
 				t.Fatalf("missing %q in serve workload output:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("gpgpusim_workload_serve_diurnal", func(t *testing.T) {
+		// replay the checked-in diurnal v2 trace (low→peak→low KV-cached
+		// decode day) end to end through the CLI
+		trace := filepath.Join("internal", "serve", "testdata", "diurnal.trace")
+		if _, err := os.Stat(trace); err != nil {
+			t.Fatalf("checked-in diurnal trace missing: %v", err)
+		}
+		out := runBinary(t, filepath.Join(bin, "gpgpusim"),
+			"-workload", "serve", "-trace", trace, "-j", "2")
+		for _, want := range []string{
+			"serve workload", "22 requests", "decode serving", "KV budget",
+			"latency p50", "ttft p50", "goodput",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in diurnal serve output:\n%s", want, out)
 			}
 		}
 	})
